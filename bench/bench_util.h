@@ -1,0 +1,112 @@
+#pragma once
+
+// Shared machinery for the figure/table reproduction benches.
+//
+// Every bench runs the benchmarks in TimingOnly mode: kernels and transfers
+// advance the simulated clock via the cost model, while the dependency
+// resolution (enumerators + trackers) executes for real, exactly as it would
+// in the deployed runtime.  This allows the paper's full problem sizes
+// (Table 1) to be evaluated.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "analysis/analyze.h"
+#include "apps/drivers.h"
+#include "apps/kernels.h"
+#include "apps/workloads.h"
+#include "rt/runtime.h"
+
+namespace polypart::benchutil {
+
+/// Cached device module + application model (the analysis runs once per
+/// process).
+inline const ir::Module& module() {
+  static ir::Module m = apps::buildBenchmarkModule();
+  return m;
+}
+
+inline const analysis::ApplicationModel& model() {
+  static analysis::ApplicationModel m = analysis::analyzeModule(module());
+  return m;
+}
+
+struct RunResult {
+  double seconds = 0;
+  rt::RuntimeStats runtime;
+  sim::MachineStats machine;
+};
+
+/// Drives one benchmark through the partitioned runtime.
+inline RunResult runPartitioned(apps::Benchmark b, i64 n, int iters, int gpus,
+                                bool transfers = true, bool resolution = true) {
+  rt::RuntimeConfig cfg;
+  cfg.numGpus = gpus;
+  cfg.mode = sim::ExecutionMode::TimingOnly;
+  cfg.enableTransfers = transfers;
+  cfg.enableDependencyResolution = resolution;
+  rt::Runtime rt(cfg, model(), module());
+  switch (b) {
+    case apps::Benchmark::Hotspot:
+      apps::runHotspot(rt, n, iters, nullptr, nullptr);
+      break;
+    case apps::Benchmark::NBody: {
+      apps::NBodyState st{nullptr, nullptr, nullptr, nullptr, nullptr, nullptr, nullptr};
+      apps::runNBody(rt, n, iters, st);
+      break;
+    }
+    case apps::Benchmark::Matmul:
+      apps::runMatmul(rt, n, nullptr, nullptr, nullptr);
+      break;
+  }
+  return RunResult{rt.elapsedSeconds(), rt.stats(), rt.machineStats()};
+}
+
+/// The single-device reference binary (paper: "produced by NVIDIA's NVCC").
+inline double runReference(apps::Benchmark b, i64 n, int iters) {
+  sim::Machine m(sim::MachineSpec::k80Node(1), sim::ExecutionMode::TimingOnly);
+  switch (b) {
+    case apps::Benchmark::Hotspot:
+      apps::referenceHotspot(m, n, iters, nullptr, nullptr);
+      break;
+    case apps::Benchmark::NBody: {
+      apps::NBodyState st{nullptr, nullptr, nullptr, nullptr, nullptr, nullptr, nullptr};
+      apps::referenceNBody(m, n, iters, st);
+      break;
+    }
+    case apps::Benchmark::Matmul:
+      apps::referenceMatmul(m, n, nullptr, nullptr, nullptr);
+      break;
+  }
+  return m.completionTime();
+}
+
+/// Iteration count for a config, honoring an optional --iters-scale=F
+/// argument (benches default to the paper's full counts).
+inline int scaledIters(const apps::WorkloadConfig& cfg, double scale) {
+  int iters = static_cast<int>(static_cast<double>(cfg.iterations) * scale);
+  return iters < 1 ? 1 : iters;
+}
+
+/// Parses `--iters-scale=<f>` from argv (1.0 when absent).
+inline double parseItersScale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* prefix = "--iters-scale=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0)
+      return std::atof(argv[i] + std::strlen(prefix));
+  }
+  return 1.0;
+}
+
+inline void printHeader(const char* what, const char* paperRef) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("Reproduces: %s\n", paperRef);
+  std::printf("Machine model: 16x K80-class GPUs, PCIe (see sim/spec.h)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace polypart::benchutil

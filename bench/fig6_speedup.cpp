@@ -1,0 +1,55 @@
+// Reproduces Figure 6: speedup of the partitioned multi-GPU binaries over
+// the single-device reference, per benchmark and problem size, for 1..16
+// GPUs.
+//
+// Paper anchors: Hotspot peaks around 7.1x (14 GPUs), N-Body reaches 12.4x
+// (16 GPUs), Matmul around 6.3x (14 GPUs); Small configurations scale worse
+// than Large on the compute-heavy benchmarks.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace polypart;
+  using namespace polypart::benchutil;
+
+  double scale = parseItersScale(argc, argv);
+  printHeader("Figure 6: Speedup of the benchmarks for up to 16 GPUs",
+              "Matz et al., ICPP Workshops 2020, Figure 6");
+  if (scale != 1.0)
+    std::printf("NOTE: iteration counts scaled by %.3f (steady-state behaviour "
+                "is unchanged)\n", scale);
+
+  for (apps::Benchmark b :
+       {apps::Benchmark::Hotspot, apps::Benchmark::NBody, apps::Benchmark::Matmul}) {
+    std::printf("\n%s\n", apps::benchmarkName(b));
+    std::printf("  %-8s %12s", "Size", "n");
+    for (int g : apps::paperGpuCounts()) std::printf("  %5dG", g);
+    std::printf("\n");
+
+    for (apps::ProblemSize size :
+         {apps::ProblemSize::Small, apps::ProblemSize::Medium, apps::ProblemSize::Large}) {
+      apps::WorkloadConfig cfg = apps::configFor(b, size);
+      int iters = scaledIters(cfg, scale);
+      double ref = runReference(b, cfg.problemSize, iters);
+      std::printf("  %-8s %12lld", apps::problemSizeName(size),
+                  static_cast<long long>(cfg.problemSize));
+      double best = 0;
+      int bestG = 1;
+      for (int g : apps::paperGpuCounts()) {
+        RunResult r = runPartitioned(b, cfg.problemSize, iters, g);
+        double speedup = ref / r.seconds;
+        if (speedup > best) {
+          best = speedup;
+          bestG = g;
+        }
+        std::printf("  %6.2f", speedup);
+        std::fflush(stdout);
+      }
+      std::printf("   (max %.2fx @ %dG)\n", best, bestG);
+    }
+  }
+
+  std::printf("\nPaper reference points: Hotspot ~7.1x @ 14G, N-Body ~12.4x @ 16G, "
+              "Matmul ~6.3x @ 14G.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Figure 8: the non-transfer ("patterns") overhead of the runtime
+// system as a fraction of total runtime, over all benchmarks, problem sizes,
+// and GPU counts.
+//
+// Paper reference values: 25th percentile 0.001 %, median 0.51 %, 75th
+// percentile 3.5 %, maximum 6.8 %.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace polypart;
+  using namespace polypart::benchutil;
+
+  double scale = parseItersScale(argc, argv);
+  printHeader("Figure 8: Overhead of the runtime system (non-transfer fraction)",
+              "Matz et al., ICPP Workshops 2020, Figure 8");
+
+  std::vector<double> fractions;
+  std::printf("\n  %-8s %-7s %4s  %10s  %10s  %9s\n", "Bench", "Size", "GPUs",
+              "beta [s]", "gamma [s]", "overhead");
+  for (apps::Benchmark b :
+       {apps::Benchmark::Hotspot, apps::Benchmark::NBody, apps::Benchmark::Matmul}) {
+    for (apps::ProblemSize size :
+         {apps::ProblemSize::Small, apps::ProblemSize::Medium, apps::ProblemSize::Large}) {
+      apps::WorkloadConfig cfg = apps::configFor(b, size);
+      int iters = scaledIters(cfg, scale);
+      for (int g : apps::paperGpuCounts()) {
+        double alpha = runPartitioned(b, cfg.problemSize, iters, g, true, true).seconds;
+        double beta = runPartitioned(b, cfg.problemSize, iters, g, false, true).seconds;
+        double gamma = runPartitioned(b, cfg.problemSize, iters, g, false, false).seconds;
+        double frac = (beta - gamma) / alpha;
+        fractions.push_back(frac);
+        std::printf("  %-8s %-7s %4d  %10.4f  %10.4f  %8.3f%%\n",
+                    apps::benchmarkName(b), apps::problemSizeName(size), g, beta,
+                    gamma, 100 * frac);
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  std::sort(fractions.begin(), fractions.end());
+  auto pct = [&](double p) {
+    double idx = p * static_cast<double>(fractions.size() - 1);
+    return fractions[static_cast<std::size_t>(idx + 0.5)];
+  };
+  std::printf("\nDistribution of the non-transfer overhead over all %zu measurements:\n",
+              fractions.size());
+  std::printf("  %-18s %10s %10s\n", "", "measured", "paper");
+  std::printf("  %-18s %9.3f%% %10s\n", "25th percentile", 100 * pct(0.25), "0.001%");
+  std::printf("  %-18s %9.3f%% %10s\n", "median", 100 * pct(0.50), "0.51%");
+  std::printf("  %-18s %9.3f%% %10s\n", "75th percentile", 100 * pct(0.75), "3.5%");
+  std::printf("  %-18s %9.3f%% %10s\n", "maximum", 100 * fractions.back(), "6.8%");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Microbenchmarks for the polyhedral substrate: Fourier-Motzkin projection,
+// feasibility checks, the access analysis, and enumerator evaluation.  These
+// support the claim that compile-time analysis keeps run-time dependency
+// resolution cheap (paper Sections 4, 6, 9.2).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/analyze.h"
+#include "apps/kernels.h"
+#include "codegen/enumerator.h"
+#include "pset/ast.h"
+#include "pset/map.h"
+
+namespace {
+
+using namespace polypart;
+using pset::BasicSet;
+using pset::DimId;
+using pset::DimKind;
+using pset::LinExpr;
+using pset::Space;
+
+BasicSet stencilReadSet() {
+  // params: [n, lo, hi]; dims: [y, x]; constraints of a halo read set.
+  Space s = Space::set({"n", "lo", "hi"}, {"y", "x"});
+  BasicSet bs(s);
+  LinExpr y = LinExpr::dim(s, DimId::in(0));
+  LinExpr x = LinExpr::dim(s, DimId::in(1));
+  LinExpr n = LinExpr::dim(s, DimId::param(0));
+  LinExpr lo = LinExpr::dim(s, DimId::param(1));
+  LinExpr hi = LinExpr::dim(s, DimId::param(2));
+  bs.addGe(y - lo + LinExpr::constant(s, 1));
+  bs.addGe(hi - y);
+  bs.addGe(y);
+  bs.addGe(n - y + LinExpr::constant(s, -1));
+  bs.addGe(x);
+  bs.addGe(n - x + LinExpr::constant(s, -1));
+  return bs;
+}
+
+void BM_FourierMotzkinProjection(benchmark::State& state) {
+  BasicSet bs = stencilReadSet();
+  for (auto _ : state) {
+    auto p = bs.projectOut(DimKind::In, 1, 1);
+    benchmark::DoNotOptimize(p.exact);
+  }
+}
+BENCHMARK(BM_FourierMotzkinProjection);
+
+void BM_Feasibility(benchmark::State& state) {
+  BasicSet bs = stencilReadSet();
+  for (auto _ : state) {
+    auto f = bs.feasibility();
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_Feasibility);
+
+void BM_BuildScan(benchmark::State& state) {
+  BasicSet bs = stencilReadSet();
+  for (auto _ : state) {
+    pset::ScanNest nest = pset::buildScan(bs);
+    benchmark::DoNotOptimize(nest.levels.size());
+  }
+}
+BENCHMARK(BM_BuildScan);
+
+void BM_AnalyzeKernel(benchmark::State& state) {
+  ir::KernelPtr k;
+  switch (state.range(0)) {
+    case 0: k = apps::buildSaxpy(); break;
+    case 1: k = apps::buildHotspot(); break;
+    default: k = apps::buildMatmul(); break;
+  }
+  for (auto _ : state) {
+    analysis::KernelModel m = analysis::analyzeKernel(*k);
+    benchmark::DoNotOptimize(m.arrays.size());
+  }
+}
+BENCHMARK(BM_AnalyzeKernel)->Arg(0)->Arg(1)->Arg(2)
+    ->ArgName("kernel(0=saxpy,1=hotspot,2=matmul)");
+
+void BM_EnumeratorEvaluation(benchmark::State& state) {
+  static analysis::KernelModel model = analysis::analyzeKernel(*apps::buildHotspot());
+  static std::vector<codegen::Enumerator> es = codegen::buildEnumerators(model);
+  const bool coalesce = state.range(0) != 0;
+  ir::LaunchConfig cfg{{1024, 1024, 1}, {16, 16, 1}};
+  i64 scalars[] = {16384};
+  codegen::PartitionTuple part = codegen::PartitionTuple::fromBlocks(
+      ir::GridPartition{{0, 256, 0}, {1024, 512, 1}}, cfg.block);
+  std::vector<codegen::Enumerator> local = es;
+  for (codegen::Enumerator& e : local) e.coalesce = coalesce;
+  for (auto _ : state) {
+    i64 total = 0;
+    for (const codegen::Enumerator& e : local)
+      e.enumerate(part, cfg, scalars, [&](i64 b, i64 en) { total += en - b; });
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_EnumeratorEvaluation)->Arg(1)->Arg(0)->ArgName("coalesce");
+
+void BM_InjectivityCheck(benchmark::State& state) {
+  ir::KernelPtr k = apps::buildHotspot();
+  for (auto _ : state) {
+    // The injectivity machinery dominates analyzeKernel; isolate it by
+    // re-running the full analysis on the write-heaviest kernel.
+    analysis::KernelModel m = analysis::analyzeKernel(*k);
+    benchmark::DoNotOptimize(m.strategy);
+  }
+}
+BENCHMARK(BM_InjectivityCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Reproduces the Section 9.2 single-GPU experiment: "the lower bound of
+// these overheads can be measured by executing the partitioned application
+// on a single GPU: across all single-GPU experiments, the slow-down has a
+// median of 2.1 %, with a 25th and 75th percentile of 0.13 % and 3.1 %".
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace polypart;
+  using namespace polypart::benchutil;
+
+  double scale = parseItersScale(argc, argv);
+  printHeader("Single-GPU overhead of the partitioned binaries",
+              "Matz et al., ICPP Workshops 2020, Section 9.2");
+
+  std::vector<double> slowdowns;
+  std::printf("\n  %-8s %-7s  %12s  %12s  %10s\n", "Bench", "Size", "reference [s]",
+              "partitioned [s]", "slow-down");
+  for (apps::Benchmark b :
+       {apps::Benchmark::Hotspot, apps::Benchmark::NBody, apps::Benchmark::Matmul}) {
+    for (apps::ProblemSize size :
+         {apps::ProblemSize::Small, apps::ProblemSize::Medium, apps::ProblemSize::Large}) {
+      apps::WorkloadConfig cfg = apps::configFor(b, size);
+      int iters = scaledIters(cfg, scale);
+      double ref = runReference(b, cfg.problemSize, iters);
+      double part = runPartitioned(b, cfg.problemSize, iters, 1).seconds;
+      double slowdown = part / ref - 1.0;
+      slowdowns.push_back(slowdown);
+      std::printf("  %-8s %-7s  %12.3f  %12.3f  %9.2f%%\n", apps::benchmarkName(b),
+                  apps::problemSizeName(size), ref, part, 100 * slowdown);
+      std::fflush(stdout);
+    }
+  }
+
+  std::sort(slowdowns.begin(), slowdowns.end());
+  auto pct = [&](double p) {
+    double idx = p * static_cast<double>(slowdowns.size() - 1);
+    return slowdowns[static_cast<std::size_t>(idx + 0.5)];
+  };
+  std::printf("\n  %-18s %10s %10s\n", "", "measured", "paper");
+  std::printf("  %-18s %9.2f%% %10s\n", "25th percentile", 100 * pct(0.25), "0.13%");
+  std::printf("  %-18s %9.2f%% %10s\n", "median", 100 * pct(0.50), "2.1%");
+  std::printf("  %-18s %9.2f%% %10s\n", "75th percentile", 100 * pct(0.75), "3.1%");
+  return 0;
+}

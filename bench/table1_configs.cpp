@@ -1,0 +1,62 @@
+// Reproduces Table 1: configurations of the benchmark applications, plus the
+// derived launch geometry and modeled footprints the other benches use.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace polypart;
+  using namespace polypart::benchutil;
+
+  printHeader("Table 1: Configurations of the benchmark applications",
+              "Matz et al., ICPP Workshops 2020, Table 1");
+
+  std::printf("\n  %-10s %10s %10s %10s %12s\n", "Benchmark", "Small", "Medium",
+              "Large", "Iterations");
+  for (apps::Benchmark b :
+       {apps::Benchmark::Hotspot, apps::Benchmark::NBody, apps::Benchmark::Matmul}) {
+    i64 sizes[3];
+    i64 iters = 0;
+    int i = 0;
+    for (apps::ProblemSize s : {apps::ProblemSize::Small, apps::ProblemSize::Medium,
+                                apps::ProblemSize::Large}) {
+      apps::WorkloadConfig c = apps::configFor(b, s);
+      sizes[i++] = c.problemSize;
+      iters = c.iterations;
+    }
+    std::string itersText =
+        b == apps::Benchmark::Matmul ? "N/A" : std::to_string(iters);
+    std::printf("  %-10s %10lld %10lld %10lld %12s\n", apps::benchmarkName(b),
+                static_cast<long long>(sizes[0]), static_cast<long long>(sizes[1]),
+                static_cast<long long>(sizes[2]), itersText.c_str());
+  }
+
+  std::printf("\nDerived properties (per configuration):\n");
+  std::printf("  %-10s %-7s %16s %18s\n", "Benchmark", "Size", "threads/launch",
+              "modeled data [MB]");
+  for (apps::Benchmark b :
+       {apps::Benchmark::Hotspot, apps::Benchmark::NBody, apps::Benchmark::Matmul}) {
+    for (apps::ProblemSize s : {apps::ProblemSize::Small, apps::ProblemSize::Medium,
+                                apps::ProblemSize::Large}) {
+      apps::WorkloadConfig c = apps::configFor(b, s);
+      i64 n = c.problemSize;
+      double threads = 0, megabytes = 0;
+      switch (b) {
+        case apps::Benchmark::Hotspot:
+          threads = static_cast<double>(n) * static_cast<double>(n);
+          megabytes = 3.0 * threads * 4 / 1e6;  // tin, power, tout (fp32)
+          break;
+        case apps::Benchmark::NBody:
+          threads = static_cast<double>(n);
+          megabytes = 10.0 * threads * 4 / 1e6;  // pos/vel/acc xyz + mass
+          break;
+        case apps::Benchmark::Matmul:
+          threads = static_cast<double>(n) * static_cast<double>(n);
+          megabytes = 3.0 * threads * 4 / 1e6;  // A, B, C
+          break;
+      }
+      std::printf("  %-10s %-7s %16.0f %18.1f\n", apps::benchmarkName(b),
+                  apps::problemSizeName(s), threads, megabytes);
+    }
+  }
+  return 0;
+}

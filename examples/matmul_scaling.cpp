@@ -1,0 +1,80 @@
+// Domain scenario: dense matrix multiplication and the cost of the default
+// data distribution.
+//
+// Matmul is the paper's example of a *mismatched* distribution: B is read
+// column-wise by every partition but distributed row-linearly by the
+// host-to-device memcpy, so the runtime reassembles B on every GPU before
+// the kernel starts (Section 9.1).  This example verifies the partitioned
+// product against the CPU and then sweeps GPU counts in timing mode to show
+// the one-shot workload's limited scalability.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "apps/drivers.h"
+#include "apps/kernels.h"
+#include "apps/reference.h"
+#include "support/rng.h"
+
+using namespace polypart;
+
+namespace {
+
+std::unique_ptr<rt::Runtime> makeRuntime(int gpus, sim::ExecutionMode mode) {
+  rt::RuntimeConfig cfg;
+  cfg.numGpus = gpus;
+  cfg.mode = mode;
+  static ir::Module mod = apps::buildBenchmarkModule();
+  static analysis::ApplicationModel model = analysis::analyzeModule(mod);
+  return std::make_unique<rt::Runtime>(cfg, model, mod);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== matmul_scaling: C = A * B on multiple GPUs ==\n\n");
+
+  // -- Functional correctness at a small size ----------------------------------
+  {
+    const i64 n = 96;
+    Rng rng(3);
+    std::vector<double> a(static_cast<std::size_t>(n * n));
+    std::vector<double> b(static_cast<std::size_t>(n * n));
+    std::vector<double> want(static_cast<std::size_t>(n * n));
+    for (auto& v : a) v = rng.uniform();
+    for (auto& v : b) v = rng.uniform();
+    apps::refMatmul(n, a, b, want);
+
+    auto rt = makeRuntime(5, sim::ExecutionMode::Functional);
+    std::vector<double> c(static_cast<std::size_t>(n * n), -1.0);
+    apps::runMatmul(*rt, n, a.data(), b.data(), c.data());
+    i64 bad = 0;
+    for (std::size_t i = 0; i < c.size(); ++i)
+      if (c[i] != want[i]) ++bad;
+    std::printf("functional check (n=%lld, 5 GPUs): %lld wrong elements "
+                "(expected 0)\n\n", static_cast<long long>(n),
+                static_cast<long long>(bad));
+    if (bad != 0) return 1;
+  }
+
+  // -- Scaling sweep at paper scale (timing mode) --------------------------------
+  const i64 n = 8192;  // the paper's Small configuration
+  sim::Machine ref(sim::MachineSpec::k80Node(1), sim::ExecutionMode::TimingOnly);
+  apps::referenceMatmul(ref, n, nullptr, nullptr, nullptr);
+  double refTime = ref.completionTime();
+  std::printf("n = %lld, single-GPU reference: %.3f s\n\n",
+              static_cast<long long>(n), refTime);
+  std::printf("  %4s  %10s  %8s  %22s\n", "GPUs", "time [s]", "speedup",
+              "B-correction p2p [MB]");
+  for (int g : {1, 2, 4, 8, 12, 16}) {
+    auto rt = makeRuntime(g, sim::ExecutionMode::TimingOnly);
+    apps::runMatmul(*rt, n, nullptr, nullptr, nullptr);
+    std::printf("  %4d  %10.3f  %7.2fx  %22.1f\n", g, rt->elapsedSeconds(),
+                refTime / rt->elapsedSeconds(),
+                static_cast<double>(rt->machineStats().bytesPeerToPeer) / 1e6);
+  }
+  std::printf("\nThe reassembly of B before the (single) kernel launch is why the\n"
+              "paper reports Matmul scaling worst of the three workloads.\n");
+  return 0;
+}

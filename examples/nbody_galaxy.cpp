@@ -1,0 +1,118 @@
+// Domain scenario: direct N-Body simulation of a small "galaxy collision".
+//
+// N-Body is the paper's best-scaling workload: computation per body grows
+// with the body count while the data per body stays constant, so the
+// broadcast of positions every iteration is amortized (Section 9.1).  The
+// example integrates two point clusters functionally on 1 and 6 GPUs,
+// verifies identical trajectories, and reports energy drift as a physics
+// sanity check.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "apps/drivers.h"
+#include "apps/kernels.h"
+#include "support/rng.h"
+
+using namespace polypart;
+
+namespace {
+
+struct Cloud {
+  std::vector<double> px, py, pz, vx, vy, vz, mass;
+};
+
+Cloud makeColliders(i64 n) {
+  Rng rng(7);
+  Cloud c;
+  for (auto* v : {&c.px, &c.py, &c.pz, &c.vx, &c.vy, &c.vz, &c.mass})
+    v->resize(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    std::size_t s = static_cast<std::size_t>(i);
+    bool left = i < n / 2;
+    double cx = left ? -2.0 : 2.0;
+    c.px[s] = cx + (rng.uniform() - 0.5);
+    c.py[s] = rng.uniform() - 0.5;
+    c.pz[s] = rng.uniform() - 0.5;
+    c.vx[s] = left ? 0.4 : -0.4;  // clusters approach each other
+    c.vy[s] = 0;
+    c.vz[s] = 0;
+    c.mass[s] = 0.5 + rng.uniform();
+  }
+  return c;
+}
+
+double kineticEnergy(const Cloud& c) {
+  double e = 0;
+  for (std::size_t i = 0; i < c.mass.size(); ++i)
+    e += 0.5 * c.mass[i] *
+         (c.vx[i] * c.vx[i] + c.vy[i] * c.vy[i] + c.vz[i] * c.vz[i]);
+  return e;
+}
+
+std::unique_ptr<rt::Runtime> makeRuntime(
+    int gpus, sim::ExecutionMode mode = sim::ExecutionMode::Functional) {
+  rt::RuntimeConfig cfg;
+  cfg.numGpus = gpus;
+  cfg.mode = mode;
+  static ir::Module mod = apps::buildBenchmarkModule();
+  static analysis::ApplicationModel model = analysis::analyzeModule(mod);
+  return std::make_unique<rt::Runtime>(cfg, model, mod);
+}
+
+void run(rt::Runtime& rt, Cloud& c, int iters) {
+  apps::NBodyState st{c.px.data(), c.py.data(), c.pz.data(),
+                      c.vx.data(), c.vy.data(), c.vz.data(), c.mass.data()};
+  apps::runNBody(rt, static_cast<i64>(c.mass.size()), iters, st);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== nbody_galaxy: colliding point clusters ==\n\n");
+
+  const i64 n = 512;
+  const int iters = 24;
+
+  Cloud before = makeColliders(n);
+  double e0 = kineticEnergy(before);
+
+  Cloud single = before;
+  auto rt1 = makeRuntime(1);
+  run(*rt1, single, iters);
+
+  Cloud multi = before;
+  auto rt6 = makeRuntime(6);
+  run(*rt6, multi, iters);
+
+  i64 mismatches = 0;
+  for (std::size_t i = 0; i < multi.px.size(); ++i)
+    if (multi.px[i] != single.px[i] || multi.vz[i] != single.vz[i]) ++mismatches;
+
+  std::printf("%lld bodies, %d time steps\n", static_cast<long long>(n), iters);
+  std::printf("1 GPU vs 6 GPUs: %lld trajectory mismatches (expected 0)\n",
+              static_cast<long long>(mismatches));
+  std::printf("kinetic energy: %.3f -> %.3f (gravitational infall accelerates "
+              "the clusters)\n", e0, kineticEnergy(multi));
+  std::printf("\n6-GPU run statistics:\n");
+  std::printf("  position broadcasts: %lld peer copies, %.2f MB\n",
+              static_cast<long long>(rt6->stats().peerCopies),
+              static_cast<double>(rt6->machineStats().bytesPeerToPeer) / 1e6);
+  std::printf("  (tiny clusters are launch-latency-bound; see below for scale)\n");
+
+  // Paper-scale sweep in timing mode: this is the regime where the paper
+  // reports N-Body's 12.4x at 16 GPUs.
+  std::printf("\nScaling at paper scale (131072 bodies, 10 steps, timing mode):\n");
+  double base = 0;
+  for (int gpus : {1, 4, 8, 16}) {
+    auto rt = makeRuntime(gpus, sim::ExecutionMode::TimingOnly);
+    apps::NBodyState st{nullptr, nullptr, nullptr, nullptr, nullptr, nullptr, nullptr};
+    apps::runNBody(*rt, 131072, 10, st);
+    if (gpus == 1) base = rt->elapsedSeconds();
+    std::printf("  %2d GPUs: %7.3f s  (%.2fx)\n", gpus, rt->elapsedSeconds(),
+                base / rt->elapsedSeconds());
+  }
+  return mismatches == 0 ? 0 : 1;
+}

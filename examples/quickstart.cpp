@@ -1,0 +1,102 @@
+// Quickstart: compile a single-GPU saxpy application with the polypart
+// toolchain and run it, partitioned, on four simulated GPUs.
+//
+// The flow mirrors the paper end to end:
+//   1. the "CUDA application": a kernel (device code) plus host logic,
+//   2. the toolchain: analysis pass -> host rewrite -> partitioning pass,
+//   3. execution through the runtime's CUDA-replacement API -- note that the
+//      host logic below is single-GPU code; the multi-GPU orchestration is
+//      entirely the runtime's job.
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/kernels.h"
+#include "rt/cuda_api.h"
+#include "tool/compiler.h"
+
+using namespace polypart;
+
+namespace {
+
+// The host source as the user wrote it (what the rewriter consumes).
+const char* kOriginalHostSource = R"(
+int main() {
+  float *x, *y;
+  cudaMalloc(&x, n * sizeof(float));
+  cudaMalloc(&y, n * sizeof(float));
+  cudaMemcpy(x, hx, bytes, cudaMemcpyHostToDevice);
+  cudaMemcpy(y, hy, bytes, cudaMemcpyHostToDevice);
+  saxpy<<<(n + 255) / 256, 256>>>(n, 2.5f, x, y);
+  cudaMemcpy(hy, y, bytes, cudaMemcpyDeviceToHost);
+  cudaFree(x);
+  cudaFree(y);
+}
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("== polypart quickstart ==\n\n");
+
+  // -- Compile -----------------------------------------------------------------
+  ir::Module device;
+  device.addKernel(apps::buildSaxpy());
+  tool::Compiler compiler;
+  tool::CompiledApplication app = compiler.compile(device, kOriginalHostSource);
+
+  std::printf("Toolchain: pass1 %.1f ms, rewrite %.2f ms, pass2 %.1f ms "
+              "(%.2fx of a single compile)\n",
+              1e3 * app.pass1Seconds(), 1e3 * app.rewriteSeconds(),
+              1e3 * app.pass2Seconds(), app.compileTimeRatio());
+  const analysis::KernelModel* m = app.model().find("saxpy");
+  std::printf("Kernel 'saxpy': partitioning strategy = split grid dimension %s\n",
+              analysis::strategyName(m->strategy));
+  for (const analysis::ArrayModel& a : m->arrays)
+    std::printf("  array '%s': reads=%s writes=%s (write map exact: %s)\n",
+                a.name.c_str(), a.hasReads() ? "yes" : "no",
+                a.hasWrites() ? "yes" : "no", a.write.exact() ? "yes" : "n/a");
+
+  // -- Run on 4 simulated GPUs ---------------------------------------------------
+  rt::RuntimeConfig cfg;
+  cfg.numGpus = 4;
+  cfg.mode = sim::ExecutionMode::Functional;
+  std::unique_ptr<rt::Runtime> runtime = app.makeRuntime(cfg);
+  rt::ScopedGpartRuntime scope(*runtime);
+
+  const i64 n = 1 << 20;
+  std::vector<double> hx(n), hy(n);
+  for (i64 i = 0; i < n; ++i) {
+    hx[static_cast<std::size_t>(i)] = static_cast<double>(i % 100);
+    hy[static_cast<std::size_t>(i)] = 1.0;
+  }
+
+  // Exactly the host logic of the rewritten program.
+  void *x = nullptr, *y = nullptr;
+  rt::gpartMalloc(&x, n * 8);
+  rt::gpartMalloc(&y, n * 8);
+  rt::gpartMemcpy(x, hx.data(), n * 8, rt::gpartMemcpyHostToDevice);
+  rt::gpartMemcpy(y, hy.data(), n * 8, rt::gpartMemcpyHostToDevice);
+  rt::gpartLaunchKernel("saxpy", {(n + 255) / 256, 1, 1}, {256, 1, 1},
+                        {rt::gpartArgOf(n), rt::gpartArgOf(2.5), rt::gpartArgOf(x),
+                         rt::gpartArgOf(y)});
+  rt::gpartDeviceSynchronize();
+  rt::gpartMemcpy(hy.data(), y, n * 8, rt::gpartMemcpyDeviceToHost);
+  rt::gpartFree(x);
+  rt::gpartFree(y);
+
+  // -- Verify ---------------------------------------------------------------------
+  i64 errors = 0;
+  for (i64 i = 0; i < n; ++i) {
+    double want = 2.5 * static_cast<double>(i % 100) + 1.0;
+    if (hy[static_cast<std::size_t>(i)] != want) ++errors;
+  }
+  std::printf("\nRan on %d simulated GPUs: %lld elements, %lld errors\n", cfg.numGpus,
+              static_cast<long long>(n), static_cast<long long>(errors));
+  std::printf("Simulated execution time: %.3f ms; peer transfers: %lld\n",
+              1e3 * runtime->elapsedSeconds(),
+              static_cast<long long>(runtime->stats().peerCopies));
+  std::printf("\nRewritten host code:\n----------------------------------------\n%s\n",
+              app.rewrittenHostSource().c_str());
+  return errors == 0 ? 0 : 1;
+}

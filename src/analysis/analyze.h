@@ -1,0 +1,79 @@
+#pragma once
+
+// Entry points of the polyhedral access analysis (paper Section 4).
+//
+// analyzeKernel builds the KernelModel for one kernel:
+//   1. abstract interpretation of index expressions into the polynomial
+//      domain (analysis/poly.h) with the blockOff substitution (Eq. 6),
+//   2. delinearization against declared array shapes,
+//   3. construction of thread-level access relations with the full domain
+//      constraints (thread/block bounds, loop bounds, affine guards),
+//   4. projection of loop and threadIdx dimensions (Section 4.1),
+//   5. soundness checks: write maps must stay exact under projection and be
+//      thread-injective (write-after-write hazards prohibit multi-GPU
+//      execution, Section 4.1),
+//   6. the partitioning-strategy heuristic.
+//
+// Throws UnsupportedKernelError when the kernel cannot be modeled soundly.
+
+#include <map>
+
+#include "analysis/model.h"
+
+namespace polypart::analysis {
+
+/// Fallback policies for kernels the purely static analysis rejects.  Both
+/// implement directions the paper's conclusion names explicitly: "this
+/// limitation can be remedied by using instrumentation to collect write
+/// patterns ... or annotation of the source code with write patterns".
+struct AnalysisOptions {
+  /// Writes the polyhedral model cannot capture accurately (non-affine
+  /// indices, non-affine guards, inexact projections, unprovable
+  /// injectivity) mark the array `writeInstrumented` instead of rejecting
+  /// the kernel; the runtime then collects the write pattern by executing
+  /// an instrumented kernel (Functional mode only).
+  bool allowInstrumentedWrites = false;
+  /// Reads the model cannot capture fall back to the array's full extent
+  /// (requires a declared shape) — a sound over-approximation that forces a
+  /// whole-buffer synchronization.
+  bool allowWholeArrayReadFallback = false;
+  /// User-supplied access maps overriding the extraction per (kernel
+  /// argument); see KernelAnnotations.
+  const class KernelAnnotations* annotations = nullptr;
+};
+
+/// Source-level access-pattern annotations (conclusion option 3): exact
+/// read/write maps the programmer asserts for specific array arguments, in
+/// the model's Z^6 -> Z^d space.  Annotated write maps are still checked
+/// for thread-level consistency by the runtime's instrumentation tests, but
+/// are trusted by the analysis.
+class KernelAnnotations {
+ public:
+  void annotateRead(std::size_t argIndex, pset::Map map) {
+    reads_[argIndex] = std::move(map);
+  }
+  void annotateWrite(std::size_t argIndex, pset::Map map) {
+    writes_[argIndex] = std::move(map);
+  }
+  const pset::Map* readFor(std::size_t argIndex) const {
+    auto it = reads_.find(argIndex);
+    return it == reads_.end() ? nullptr : &it->second;
+  }
+  const pset::Map* writeFor(std::size_t argIndex) const {
+    auto it = writes_.find(argIndex);
+    return it == writes_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::size_t, pset::Map> reads_;
+  std::map<std::size_t, pset::Map> writes_;
+};
+
+KernelModel analyzeKernel(const ir::Kernel& kernel,
+                          const AnalysisOptions& options = {});
+
+/// Analyzes every kernel of a module.
+ApplicationModel analyzeModule(const ir::Module& module,
+                               const AnalysisOptions& options = {});
+
+}  // namespace polypart::analysis

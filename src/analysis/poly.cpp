@@ -1,0 +1,185 @@
+#include "analysis/poly.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace polypart::analysis {
+
+void Poly::addTerm(Monomial m, i64 c) {
+  if (c == 0) return;
+  auto [it, inserted] = terms_.try_emplace(std::move(m), c);
+  if (!inserted) {
+    it->second = checkedAdd(it->second, c);
+    if (it->second == 0) terms_.erase(it);
+  }
+}
+
+Poly Poly::constant(i64 c) {
+  Poly p;
+  p.addTerm({}, c);
+  return p;
+}
+
+Poly Poly::var(PVar v) {
+  Poly p;
+  p.addTerm({v}, 1);
+  return p;
+}
+
+std::optional<i64> Poly::asConstant() const {
+  if (terms_.empty()) return 0;
+  if (terms_.size() == 1 && terms_.begin()->first.empty())
+    return terms_.begin()->second;
+  return std::nullopt;
+}
+
+Poly Poly::operator+(const Poly& o) const {
+  Poly out = *this;
+  for (const auto& [m, c] : o.terms_) out.addTerm(m, c);
+  return out;
+}
+
+Poly Poly::operator-(const Poly& o) const {
+  Poly out = *this;
+  for (const auto& [m, c] : o.terms_) out.addTerm(m, checkedNeg(c));
+  return out;
+}
+
+Poly Poly::operator-() const {
+  Poly out;
+  for (const auto& [m, c] : terms_) out.addTerm(m, checkedNeg(c));
+  return out;
+}
+
+Poly Poly::operator*(const Poly& o) const {
+  Poly out;
+  for (const auto& [ma, ca] : terms_) {
+    for (const auto& [mb, cb] : o.terms_) {
+      Monomial m;
+      m.reserve(ma.size() + mb.size());
+      std::merge(ma.begin(), ma.end(), mb.begin(), mb.end(), std::back_inserter(m));
+      out.addTerm(std::move(m), checkedMul(ca, cb));
+    }
+  }
+  return out;
+}
+
+Poly Poly::substituteBlockOffsets() const {
+  Poly out;
+  for (const auto& [m, c] : terms_) {
+    Monomial cur = m;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (unsigned axis = 0; axis < 3 && !changed; ++axis) {
+        PVar bid{PVar::Kind::Bid, axis};
+        PVar bdim{PVar::Kind::Param, axis};  // params 0..2 are blockDim x/y/z
+        auto itBid = std::find(cur.begin(), cur.end(), bid);
+        if (itBid == cur.end()) continue;
+        auto itDim = std::find(cur.begin(), cur.end(), bdim);
+        if (itDim == cur.end()) continue;
+        // Remove the later iterator first so the earlier stays valid.
+        if (itBid < itDim) std::swap(itBid, itDim);
+        cur.erase(itBid);
+        cur.erase(itDim);
+        cur.push_back(PVar{PVar::Kind::Boff, axis});
+        std::sort(cur.begin(), cur.end());
+        changed = true;
+      }
+    }
+    out.addTerm(std::move(cur), c);
+  }
+  return out;
+}
+
+bool Poly::isAffine() const {
+  for (const auto& [m, c] : terms_)
+    if (m.size() > 1) return false;
+  return true;
+}
+
+Poly::DivResult Poly::divideByMonomial(const Monomial& stride, i64 coef) const {
+  PP_ASSERT(coef != 0);
+  DivResult out;
+  for (const auto& [m, c] : terms_) {
+    // Is `stride` a sub-multiset of m and c divisible by coef?
+    Monomial rest;
+    rest.reserve(m.size());
+    std::size_t si = 0;
+    for (const PVar& v : m) {
+      if (si < stride.size() && stride[si] == v) {
+        ++si;
+      } else {
+        rest.push_back(v);
+      }
+    }
+    if (si == stride.size() && c % coef == 0) {
+      out.quotient.addTerm(std::move(rest), c / coef);
+    } else {
+      out.remainder.addTerm(m, c);
+    }
+  }
+  return out;
+}
+
+std::optional<std::pair<Monomial, i64>> Poly::asSingleTerm() const {
+  if (terms_.size() != 1) return std::nullopt;
+  return std::make_pair(terms_.begin()->first, terms_.begin()->second);
+}
+
+std::string Poly::str() const {
+  if (terms_.empty()) return "0";
+  auto varStr = [](PVar v) -> std::string {
+    const char* axes = "xyz";
+    switch (v.kind) {
+      case PVar::Kind::Tid: return std::string("t") + axes[v.index];
+      case PVar::Kind::Bid: return std::string("b") + axes[v.index];
+      case PVar::Kind::Boff: return std::string("bo") + axes[v.index];
+      case PVar::Kind::Param: return "p" + std::to_string(v.index);
+      case PVar::Kind::Loop: return "L" + std::to_string(v.index);
+    }
+    return "?";
+  };
+  std::vector<std::string> parts;
+  for (const auto& [m, c] : terms_) {
+    std::string t = std::to_string(c);
+    for (const PVar& v : m) t += "*" + varStr(v);
+    parts.push_back(std::move(t));
+  }
+  return join(parts, " + ");
+}
+
+std::optional<std::vector<Poly>> delinearize(const Poly& flatIndex,
+                                             const std::vector<Poly>& shape) {
+  const std::size_t d = shape.size();
+  if (d <= 1) {
+    if (!flatIndex.isAffine()) return std::nullopt;
+    return std::vector<Poly>{flatIndex};
+  }
+
+  // Strides: stride[d-1] = 1, stride[i] = shape[i+1] * ... * shape[d-1].
+  // Every shape dimension must be a single monomial for monomial division.
+  std::vector<Poly> strides(d);
+  strides[d - 1] = Poly::constant(1);
+  for (std::size_t i = d - 1; i-- > 0;) strides[i] = strides[i + 1] * shape[i + 1];
+
+  std::vector<Poly> subs(d);
+  Poly rest = flatIndex;
+  for (std::size_t i = 0; i + 1 < d; ++i) {
+    auto term = strides[i].asSingleTerm();
+    if (!term) return std::nullopt;
+    // A constant stride of 1 would make every remaining term "divisible";
+    // that only happens with degenerate shapes, which we do not factor.
+    auto dv = rest.divideByMonomial(term->first, term->second);
+    subs[i] = std::move(dv.quotient);
+    rest = std::move(dv.remainder);
+    if (!subs[i].isAffine()) return std::nullopt;
+  }
+  subs[d - 1] = std::move(rest);
+  if (!subs[d - 1].isAffine()) return std::nullopt;
+  return subs;
+}
+
+}  // namespace polypart::analysis

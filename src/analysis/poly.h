@@ -1,0 +1,102 @@
+#pragma once
+
+// Polynomial abstract domain for the access analysis (paper Section 4.1).
+//
+// Index expressions in CUDA kernels are polynomials over thread coordinates,
+// scalar arguments, and loop variables: the global thread position contains
+// the non-affine product blockIdx.w * blockDim.w (Eq. 5), and flattened
+// multi-dimensional indexing contributes dim*param products like row*N.
+// The analysis therefore evaluates index expressions into this polynomial
+// domain first, then
+//   1. rewrites blockIdx.w * blockDim.w into the fresh blockOff.w dimension
+//      (Eq. 6), and
+//   2. delinearizes remaining dim*param products against the declared array
+//      shape,
+// after which every subscript must be affine to enter the polyhedral model.
+
+#include <compare>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/arith.h"
+
+namespace polypart::analysis {
+
+/// Basis variable of the polynomial domain.
+///
+/// For Tid/Bid/Boff, `index` is the axis (0 = x, 1 = y, 2 = z).  For Param it
+/// is the index into the model parameter space (0..2 blockDim x/y/z, 3..5
+/// gridDim x/y/z, 6.. scalar kernel arguments).  For Loop it is the loop
+/// depth at the access.
+struct PVar {
+  enum class Kind : unsigned char { Tid, Bid, Boff, Param, Loop };
+  Kind kind;
+  unsigned index;
+
+  auto operator<=>(const PVar&) const = default;
+};
+
+/// Product of basis variables, kept sorted; the empty monomial is the
+/// constant term.
+using Monomial = std::vector<PVar>;
+
+/// Sparse multivariate polynomial with 64-bit integer coefficients.
+class Poly {
+ public:
+  Poly() = default;
+
+  static Poly constant(i64 c);
+  static Poly var(PVar v);
+
+  bool isZero() const { return terms_.empty(); }
+  std::optional<i64> asConstant() const;
+
+  Poly operator+(const Poly& o) const;
+  Poly operator-(const Poly& o) const;
+  Poly operator*(const Poly& o) const;
+  Poly operator-() const;
+
+  const std::map<Monomial, i64>& terms() const { return terms_; }
+
+  /// Applies Eq. (6): every monomial containing both Bid(w) and the
+  /// blockDim parameter of axis w has that pair replaced by Boff(w),
+  /// repeatedly until no such pair remains.
+  Poly substituteBlockOffsets() const;
+
+  /// True when every monomial has degree <= 1 (affine over all basis vars,
+  /// parameters included).
+  bool isAffine() const;
+
+  /// Splits the polynomial into (quotient, remainder) by a divisor monomial
+  /// with coefficient: terms divisible by `stride` contribute to the
+  /// quotient.  Used by delinearization.  (DivResult is defined after the
+  /// class because it holds Poly by value.)
+  struct DivResult;
+  DivResult divideByMonomial(const Monomial& stride, i64 coef) const;
+
+  /// Is the polynomial a single monomial (stride candidate)?  Returns the
+  /// monomial and coefficient.
+  std::optional<std::pair<Monomial, i64>> asSingleTerm() const;
+
+  std::string str() const;
+
+ private:
+  void addTerm(Monomial m, i64 c);
+  std::map<Monomial, i64> terms_;
+};
+
+struct Poly::DivResult {
+  Poly quotient;
+  Poly remainder;
+};
+
+/// Delinearizes a flat index polynomial against a shape whose dimensions are
+/// single-term polynomials (constants, scalar parameters, or products).
+/// Returns the subscript polynomials (outermost first) or nullopt when the
+/// factorization fails or leaves a non-affine subscript.
+std::optional<std::vector<Poly>> delinearize(const Poly& flatIndex,
+                                             const std::vector<Poly>& shape);
+
+}  // namespace polypart::analysis

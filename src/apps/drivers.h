@@ -1,0 +1,53 @@
+#pragma once
+
+// Host-side drivers for the benchmark applications.
+//
+// Each benchmark has two drivers:
+//  - run*(rt::Runtime&, ...): the "transformed" multi-GPU application — host
+//    logic as the source-to-source rewriter would emit it, calling the
+//    runtime's CUDA-replacement primitives (Sections 5, 8),
+//  - reference*(sim::Machine&, ...): the single-device binary the paper
+//    compares against (NVCC-compiled original), launching the unpartitioned
+//    kernels directly on device 0.
+//
+// Host pointers may be null in TimingOnly mode; data then never moves and
+// only the simulated clock advances.
+
+#include "rt/runtime.h"
+#include "sim/machine.h"
+
+namespace polypart::apps {
+
+/// Launch geometry used by all drivers (K80-era defaults).
+inline constexpr i64 kBlock1D = 256;
+inline constexpr i64 kBlock2D = 16;
+
+// -- saxpy ---------------------------------------------------------------------
+void runSaxpy(rt::Runtime& rt, i64 n, double a, const double* x, double* yInOut);
+void referenceSaxpy(sim::Machine& m, i64 n, double a, const double* x, double* yInOut);
+
+// -- Hotspot (iterative 5-point stencil, ping-pong buffers) --------------------
+void runHotspot(rt::Runtime& rt, i64 n, int iterations, double* tempInOut,
+                const double* power);
+void referenceHotspot(sim::Machine& m, i64 n, int iterations, double* tempInOut,
+                      const double* power);
+
+// -- N-Body (force pass + integration per iteration) ---------------------------
+struct NBodyState {
+  double* posx;
+  double* posy;
+  double* posz;
+  double* velx;
+  double* vely;
+  double* velz;
+  const double* mass;
+};
+void runNBody(rt::Runtime& rt, i64 n, int iterations, const NBodyState& state);
+void referenceNBody(sim::Machine& m, i64 n, int iterations, const NBodyState& state);
+
+// -- Matmul ---------------------------------------------------------------------
+void runMatmul(rt::Runtime& rt, i64 n, const double* a, const double* b, double* c);
+void referenceMatmul(sim::Machine& m, i64 n, const double* a, const double* b,
+                     double* c);
+
+}  // namespace polypart::apps

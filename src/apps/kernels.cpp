@@ -1,0 +1,163 @@
+#include "apps/kernels.h"
+
+#include "ir/builder.h"
+
+namespace polypart::apps {
+
+using namespace ir;
+
+KernelPtr buildSaxpy() {
+  KernelBuilder b("saxpy");
+  auto n = b.scalar("n", Type::I64);
+  auto a = b.scalar("a", Type::F64);
+  auto x = b.array("x", Type::F64, {n});
+  auto y = b.array("y", Type::F64, {n});
+  auto i = b.let("i", b.globalId(Axis::X));
+  b.iff(lt(i, n), [&] { b.store(y, i, a * b.load(x, i) + b.load(y, i)); });
+  return b.build();
+}
+
+KernelPtr buildHotspot() {
+  KernelBuilder b("hotspot");
+  auto n = b.scalar("n", Type::I64);
+  auto k = b.scalar("k", Type::F64);   // diffusion coefficient
+  auto dt = b.scalar("dt", Type::F64); // time step scaling of the power term
+  auto tin = b.array("tin", Type::F64, {n, n});
+  auto power = b.array("power", Type::F64, {n, n});
+  auto tout = b.array("tout", Type::F64, {n, n});
+
+  // K80-class caches are tiny and non-coherent for global loads: every
+  // stencil access pays DRAM bandwidth (reuse 1.0, the builder default).
+  auto x = b.let("x", b.globalId(Axis::X));
+  auto y = b.let("y", b.globalId(Axis::Y));
+  b.iff(land(lt(x, n), lt(y, n)), [&] {
+    auto idx = b.let("idx", y * n + x);
+    // Centre temperature and power are read unconditionally (as in the
+    // Rodinia kernel this proxies), which keeps the read sets full rows.
+    auto c = b.let("c", b.load(tin, idx));
+    auto p = b.let("p", b.load(power, idx));
+    b.iff(land(land(ge(x, iconst(1)), le(x, n - iconst(2))),
+               land(ge(y, iconst(1)), le(y, n - iconst(2)))),
+          [&] {
+            // Interior: 5-point relaxation plus power injection (Figure 3).
+            auto up = b.load(tin, (y - iconst(1)) * n + x);
+            auto down = b.load(tin, (y + iconst(1)) * n + x);
+            auto left = b.load(tin, y * n + (x - iconst(1)));
+            auto right = b.load(tin, y * n + (x + iconst(1)));
+            auto lap = up + down + left + right - fconst(4.0) * c;
+            b.store(tout, idx, c + k * lap + p * dt);
+          },
+          [&] {
+            // Border: isothermal copy-through.
+            b.store(tout, idx, c);
+          });
+  });
+  return b.build();
+}
+
+KernelPtr buildNBodyForces() {
+  KernelBuilder b("nbody_forces");
+  auto n = b.scalar("n", Type::I64);
+  auto px = b.array("posx", Type::F64, {n});
+  auto py = b.array("posy", Type::F64, {n});
+  auto pz = b.array("posz", Type::F64, {n});
+  auto mass = b.array("mass", Type::F64, {n});
+  auto ax = b.array("accx", Type::F64, {n});
+  auto ay = b.array("accy", Type::F64, {n});
+  auto az = b.array("accz", Type::F64, {n});
+
+  // Real N-Body kernels stage body tiles in shared memory: every thread of
+  // a block reads the same j sequence, one DRAM access serving the block.
+  b.setLoadReuse(64.0);
+  auto i = b.let("i", b.globalId(Axis::X));
+  b.iff(lt(i, n), [&] {
+    auto xi = b.let("xi", b.load(px, i));
+    auto yi = b.let("yi", b.load(py, i));
+    auto zi = b.let("zi", b.load(pz, i));
+    auto fx = b.let("fx", fconst(0.0));
+    auto fy = b.let("fy", fconst(0.0));
+    auto fz = b.let("fz", fconst(0.0));
+    b.forLoop("j", iconst(0), n, [&](ExprPtr j) {
+      auto dx = b.let("dx", b.load(px, j) - xi);
+      auto dy = b.let("dy", b.load(py, j) - yi);
+      auto dz = b.let("dz", b.load(pz, j) - zi);
+      // Softened distance avoids the i == j singularity.
+      auto r2 = b.let("r2", dx * dx + dy * dy + dz * dz + fconst(1e-9));
+      auto inv = b.let("inv", Expr::math(MathFn::Rsqrt, r2));
+      auto inv3 = b.let("inv3", inv * inv * inv);
+      auto s = b.let("s", b.load(mass, j) * inv3);
+      b.assign(fx, fx + dx * s);
+      b.assign(fy, fy + dy * s);
+      b.assign(fz, fz + dz * s);
+    });
+    b.store(ax, i, fx);
+    b.store(ay, i, fy);
+    b.store(az, i, fz);
+  });
+  return b.build();
+}
+
+KernelPtr buildNBodyUpdate() {
+  KernelBuilder b("nbody_update");
+  auto n = b.scalar("n", Type::I64);
+  auto dt = b.scalar("dt", Type::F64);
+  auto px = b.array("posx", Type::F64, {n});
+  auto py = b.array("posy", Type::F64, {n});
+  auto pz = b.array("posz", Type::F64, {n});
+  auto vx = b.array("velx", Type::F64, {n});
+  auto vy = b.array("vely", Type::F64, {n});
+  auto vz = b.array("velz", Type::F64, {n});
+  auto ax = b.array("accx", Type::F64, {n});
+  auto ay = b.array("accy", Type::F64, {n});
+  auto az = b.array("accz", Type::F64, {n});
+
+  auto i = b.let("i", b.globalId(Axis::X));
+  b.iff(lt(i, n), [&] {
+    auto nvx = b.let("nvx", b.load(vx, i) + b.load(ax, i) * dt);
+    auto nvy = b.let("nvy", b.load(vy, i) + b.load(ay, i) * dt);
+    auto nvz = b.let("nvz", b.load(vz, i) + b.load(az, i) * dt);
+    b.store(vx, i, nvx);
+    b.store(vy, i, nvy);
+    b.store(vz, i, nvz);
+    b.store(px, i, b.load(px, i) + nvx * dt);
+    b.store(py, i, b.load(py, i) + nvy * dt);
+    b.store(pz, i, b.load(pz, i) + nvz * dt);
+  });
+  return b.build();
+}
+
+KernelPtr buildMatmul() {
+  KernelBuilder b("matmul");
+  auto n = b.scalar("n", Type::I64);
+  auto a = b.array("a", Type::F64, {n, n});
+  auto mb = b.array("b", Type::F64, {n, n});
+  auto c = b.array("c", Type::F64, {n, n});
+
+  // "Basic tiled implementation" (Section 9.1): 16x16 shared-memory tiles
+  // turn 2n loads per thread into 2n/16 DRAM accesses.
+  b.setLoadReuse(16.0);
+  auto col = b.let("col", b.globalId(Axis::X));
+  auto row = b.let("row", b.globalId(Axis::Y));
+  b.iff(land(lt(col, n), lt(row, n)), [&] {
+    auto acc = b.let("acc", fconst(0.0));
+    b.forLoop("kk", iconst(0), n, [&](ExprPtr kk) {
+      // Row of A, column of B (Section 9.1: the column-wise read of B is
+      // what mismatches the linear host-to-device distribution).
+      b.assign(acc, acc + b.load(a, row * n + kk) * b.load(mb, kk * n + col));
+    });
+    b.store(c, row * n + col, acc);
+  });
+  return b.build();
+}
+
+ir::Module buildBenchmarkModule() {
+  ir::Module m;
+  m.addKernel(buildSaxpy());
+  m.addKernel(buildHotspot());
+  m.addKernel(buildNBodyForces());
+  m.addKernel(buildNBodyUpdate());
+  m.addKernel(buildMatmul());
+  return m;
+}
+
+}  // namespace polypart::apps

@@ -1,0 +1,35 @@
+#pragma once
+
+// The paper's three proxy applications (Section 9.1, Table 1) expressed in
+// the kernel IR, plus a saxpy quickstart kernel.  CPU reference
+// implementations live in reference.h; host-side drivers using the runtime
+// live in the examples and benches.
+
+#include "ir/kernel.h"
+
+namespace polypart::apps {
+
+/// y[i] = a * x[i] + y[i] — the quickstart kernel.
+ir::KernelPtr buildSaxpy();
+
+/// Hotspot proxy: 5-point stencil on a quadratic n x n grid (Figure 3).
+/// Interior cells relax toward their neighbours plus a power term; border
+/// cells copy through.  Args: (n, tin[n][n], power[n][n], tout[n][n]).
+ir::KernelPtr buildHotspot();
+
+/// N-Body force pass: direct O(n^2) gravitational acceleration.
+/// Args: (n, posx, posy, posz, mass, accx, accy, accz), all length n.
+ir::KernelPtr buildNBodyForces();
+
+/// N-Body integration pass: velocity/position update.
+/// Args: (n, dt, posx, posy, posz, velx, vely, velz, accx, accy, accz).
+ir::KernelPtr buildNBodyUpdate();
+
+/// Matmul: C = A * B on dense quadratic n x n matrices; one thread per
+/// output element.  Args: (n, a[n][n], b[n][n], c[n][n]).
+ir::KernelPtr buildMatmul();
+
+/// All benchmark kernels as one module (the "device code" of the app suite).
+ir::Module buildBenchmarkModule();
+
+}  // namespace polypart::apps

@@ -1,0 +1,91 @@
+#include "apps/reference.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace polypart::apps {
+
+void refSaxpy(double a, std::span<const double> x, std::span<double> y) {
+  PP_ASSERT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = a * x[i] + y[i];
+}
+
+void refHotspotStep(i64 n, double k, double dt, std::span<const double> tin,
+                    std::span<const double> power, std::span<double> tout) {
+  auto at = [n](std::span<const double> g, i64 y, i64 x) {
+    return g[static_cast<std::size_t>(y * n + x)];
+  };
+  for (i64 y = 0; y < n; ++y) {
+    for (i64 x = 0; x < n; ++x) {
+      std::size_t idx = static_cast<std::size_t>(y * n + x);
+      double c = tin[idx];
+      if (x >= 1 && x <= n - 2 && y >= 1 && y <= n - 2) {
+        double lap = at(tin, y - 1, x) + at(tin, y + 1, x) + at(tin, y, x - 1) +
+                     at(tin, y, x + 1) - 4.0 * c;
+        tout[idx] = c + k * lap + power[idx] * dt;
+      } else {
+        tout[idx] = c;
+      }
+    }
+  }
+}
+
+void refNBodyForces(i64 n, std::span<const double> px, std::span<const double> py,
+                    std::span<const double> pz, std::span<const double> mass,
+                    std::span<double> ax, std::span<double> ay, std::span<double> az) {
+  for (i64 i = 0; i < n; ++i) {
+    std::size_t si = static_cast<std::size_t>(i);
+    double xi = px[si], yi = py[si], zi = pz[si];
+    double fx = 0, fy = 0, fz = 0;
+    for (i64 j = 0; j < n; ++j) {
+      std::size_t sj = static_cast<std::size_t>(j);
+      double dx = px[sj] - xi;
+      double dy = py[sj] - yi;
+      double dz = pz[sj] - zi;
+      double r2 = dx * dx + dy * dy + dz * dz + 1e-9;
+      double inv = 1.0 / std::sqrt(r2);
+      double inv3 = inv * inv * inv;
+      double s = mass[sj] * inv3;
+      fx += dx * s;
+      fy += dy * s;
+      fz += dz * s;
+    }
+    ax[si] = fx;
+    ay[si] = fy;
+    az[si] = fz;
+  }
+}
+
+void refNBodyUpdate(i64 n, double dt, std::span<double> px, std::span<double> py,
+                    std::span<double> pz, std::span<double> vx, std::span<double> vy,
+                    std::span<double> vz, std::span<const double> ax,
+                    std::span<const double> ay, std::span<const double> az) {
+  for (i64 i = 0; i < n; ++i) {
+    std::size_t s = static_cast<std::size_t>(i);
+    double nvx = vx[s] + ax[s] * dt;
+    double nvy = vy[s] + ay[s] * dt;
+    double nvz = vz[s] + az[s] * dt;
+    vx[s] = nvx;
+    vy[s] = nvy;
+    vz[s] = nvz;
+    px[s] = px[s] + nvx * dt;
+    py[s] = py[s] + nvy * dt;
+    pz[s] = pz[s] + nvz * dt;
+  }
+}
+
+void refMatmul(i64 n, std::span<const double> a, std::span<const double> b,
+               std::span<double> c) {
+  for (i64 i = 0; i < n; ++i) {
+    for (i64 j = 0; j < n; ++j) {
+      double acc = 0;
+      for (i64 k = 0; k < n; ++k)
+        acc += a[static_cast<std::size_t>(i * n + k)] *
+               b[static_cast<std::size_t>(k * n + j)];
+      c[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  }
+}
+
+}  // namespace polypart::apps

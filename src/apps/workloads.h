@@ -1,0 +1,66 @@
+#pragma once
+
+// Benchmark configurations from the paper (Table 1).
+
+#include <string>
+#include <vector>
+
+#include "support/arith.h"
+
+namespace polypart::apps {
+
+enum class Benchmark { Hotspot, NBody, Matmul };
+
+inline const char* benchmarkName(Benchmark b) {
+  switch (b) {
+    case Benchmark::Hotspot: return "Hotspot";
+    case Benchmark::NBody: return "N-Body";
+    case Benchmark::Matmul: return "Matmul";
+  }
+  return "?";
+}
+
+enum class ProblemSize { Small, Medium, Large };
+
+inline const char* problemSizeName(ProblemSize s) {
+  switch (s) {
+    case ProblemSize::Small: return "Small";
+    case ProblemSize::Medium: return "Medium";
+    case ProblemSize::Large: return "Large";
+  }
+  return "?";
+}
+
+/// One row of Table 1.
+struct WorkloadConfig {
+  Benchmark benchmark;
+  ProblemSize size;
+  i64 problemSize;  // grid side length / body count / matrix side length
+  i64 iterations;   // outer host iterations (1 for Matmul)
+};
+
+/// Table 1: Configurations of the benchmark applications.
+inline std::vector<WorkloadConfig> table1Configs() {
+  return {
+      {Benchmark::Hotspot, ProblemSize::Small, 8192, 1500},
+      {Benchmark::Hotspot, ProblemSize::Medium, 16384, 1500},
+      {Benchmark::Hotspot, ProblemSize::Large, 36864, 1500},
+      {Benchmark::NBody, ProblemSize::Small, 65536, 96},
+      {Benchmark::NBody, ProblemSize::Medium, 131072, 96},
+      {Benchmark::NBody, ProblemSize::Large, 327680, 96},
+      {Benchmark::Matmul, ProblemSize::Small, 8192, 1},
+      {Benchmark::Matmul, ProblemSize::Medium, 16384, 1},
+      {Benchmark::Matmul, ProblemSize::Large, 30656, 1},
+  };
+}
+
+inline WorkloadConfig configFor(Benchmark b, ProblemSize s) {
+  for (const WorkloadConfig& c : table1Configs())
+    if (c.benchmark == b && c.size == s) return c;
+  return {};
+}
+
+/// GPU counts evaluated in the paper's figures.
+inline std::vector<int> paperGpuCounts() { return {1, 2, 4, 6, 8, 10, 12, 14, 16}; }
+
+}  // namespace polypart::apps

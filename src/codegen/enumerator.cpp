@@ -1,0 +1,368 @@
+#include "codegen/enumerator.h"
+
+#include <algorithm>
+
+#include "support/str.h"
+
+namespace polypart::codegen {
+
+using analysis::ArrayModel;
+using analysis::KernelModel;
+using pset::AstExpr;
+using pset::BasicSet;
+using pset::Constraint;
+using pset::DimId;
+using pset::DimKind;
+using pset::LinExpr;
+using pset::ScanNest;
+using pset::Space;
+
+PartitionTuple PartitionTuple::fromBlocks(const ir::GridPartition& p,
+                                          const ir::Dim3& blockDim) {
+  PartitionTuple t;
+  const i64 bidLo[3] = {p.lo.x, p.lo.y, p.lo.z};
+  const i64 bidHi[3] = {p.hi.x, p.hi.y, p.hi.z};
+  const i64 bd[3] = {blockDim.x, blockDim.y, blockDim.z};
+  for (int a = 0; a < 3; ++a) {
+    // blockOff = blockIdx * blockDim (Eq. 6).  The box must span exactly the
+    // blockOff values of blocks inside the partition, so the (exclusive)
+    // upper bound is the *last* block's blockOff plus one — using
+    // bidHi*blockDim would admit phantom offsets up to a full block past the
+    // partition edge and inflate the enumerated ranges.
+    t.lo[static_cast<std::size_t>(a)] = checkedMul(bidLo[a], bd[a]);
+    t.hi[static_cast<std::size_t>(a)] =
+        checkedAdd(checkedMul(bidHi[a] - 1, bd[a]), 1);
+    t.lo[static_cast<std::size_t>(3 + a)] = bidLo[a];
+    t.hi[static_cast<std::size_t>(3 + a)] = bidHi[a];
+  }
+  return t;
+}
+
+namespace {
+
+std::vector<std::string> partitionParamNames() {
+  std::vector<std::string> names;
+  for (const char* base : {"boxLo", "boyLo", "bozLo", "bxLo", "byLo", "bzLo",
+                           "boxHi", "boyHi", "bozHi", "bxHi", "byHi", "bzHi"})
+    names.push_back(base);
+  return names;
+}
+
+}  // namespace
+
+Enumerator::Enumerator(const KernelModel& model, const ArrayModel& array,
+                       bool isWrite)
+    : argIndex_(array.argIndex), isWrite_(isWrite), rank_(array.rank()) {
+  name_ = model.kernel + "_arg" + std::to_string(array.argIndex) +
+          (isWrite ? "_write" : "_read");
+
+  const pset::Map& accessMap = isWrite ? array.write : array.read;
+  exact_ = accessMap.exact();
+
+  Space paramSpace = model.paramSpace();
+  numModelParams_ = paramSpace.numParams();
+  shapeRows_ = array.shape;
+
+  // Extended space: model params followed by the 12 partition parameters.
+  std::vector<std::string> partNames = partitionParamNames();
+  Space extMapSpace = accessMap.space().addParams(partNames);
+  paramNames_ = extMapSpace.paramNames();
+
+  // Partition box constraints: pLo_i <= in_i < pHi_i for the six inputs.
+  BasicSet box(extMapSpace);
+  for (std::size_t i = 0; i < 6; ++i) {
+    LinExpr in = LinExpr::dim(extMapSpace, DimId::in(i));
+    LinExpr lo = LinExpr::dim(extMapSpace, DimId::param(numModelParams_ + i));
+    LinExpr hi = LinExpr::dim(extMapSpace, DimId::param(numModelParams_ + 6 + i));
+    box.addGe(in - lo);
+    box.addGe(hi - in + LinExpr::constant(extMapSpace, -1));
+  }
+
+  Space scanSpace = Space::set(extMapSpace.paramNames(), extMapSpace.outNames());
+  for (const BasicSet& part : accessMap.parts()) {
+    BasicSet constrained = part.alignToSpace(extMapSpace).intersect(box);
+    // Project the six thread-grid inputs away; the image over the array
+    // dimensions is what the partition accesses (Section 6).
+    pset::Proj p = constrained.projectOut(DimKind::In, 0, 6);
+    if (!p.exact) exact_ = false;
+    p.set.simplify();
+    if (p.set.markedEmpty()) continue;
+    // Rebuild over a set space whose input dims are the array dims (same
+    // column layout, so rows carry over unchanged).
+    BasicSet scanSet(scanSpace);
+    for (const Constraint& c : p.set.constraints()) scanSet.add(c);
+    nests_.push_back(pset::buildScan(scanSet));
+  }
+
+  if (isWrite_ && !exact_)
+    throw UnsupportedKernelError(
+        "enumerator '" + name_ +
+        "': write ranges would be over-approximated; the tracker update "
+        "must be accurate (paper Section 4.1)");
+
+  // Multi-disjunct read maps are enumerated through a *rectangular hull* at
+  // run time (see enumerate()): per level the minimum of the live disjuncts'
+  // lower bounds and the maximum of their uppers.  The hull covers every
+  // disjunct, which is a sound over-approximation for reads (Section 4.1),
+  // and usually collapses a stencil's five access disjuncts into one convex
+  // nest that full-row coalescing then walks in O(1).
+  if (!isWrite_ && nests_.size() > 1) {
+    bool sameRank = true;
+    for (const ScanNest& n : nests_)
+      if (n.levels.size() != rank_) sameRank = false;
+    hullable_ = sameRank;
+    if (hullable_) exact_ = false;
+  }
+}
+
+std::vector<i64> Enumerator::buildParams(const PartitionTuple& partition,
+                                         const ir::LaunchConfig& cfg,
+                                         std::span<const i64> scalars) const {
+  PP_ASSERT_MSG(6 + scalars.size() == numModelParams_,
+                "scalar argument count does not match the model");
+  std::vector<i64> params;
+  params.reserve(numModelParams_ + 12);
+  params.insert(params.end(), {cfg.block.x, cfg.block.y, cfg.block.z,
+                               cfg.grid.x, cfg.grid.y, cfg.grid.z});
+  params.insert(params.end(), scalars.begin(), scalars.end());
+  params.insert(params.end(), partition.lo.begin(), partition.lo.end());
+  params.insert(params.end(), partition.hi.begin(), partition.hi.end());
+  return params;
+}
+
+namespace {
+
+/// Emits the flattened ranges of one nest — or, with several nests, of
+/// their rectangular hull (per-level min of lowers / max of uppers, a sound
+/// cover of the union used for read maps only).
+struct EmitCtx {
+  std::span<const ScanNest* const> nests;
+  std::span<const i64> params;
+  std::span<const i64> strides;  // per level; strides[last] == 1
+  std::span<const i64> dims;     // extent per level; <= 0 when unknown
+  bool coalesce;
+  const RangeFn& emit;
+  std::vector<i64> coords;
+  i64 logicalRows = 0;
+
+  /// True when every level below `level` has bounds independent of loop
+  /// variables >= `level` and spans its full extent: the tail then flattens
+  /// into one contiguous run of strides[level] elements per iteration.
+  std::size_t numLevels() const { return nests[0]->levels.size(); }
+
+  i64 lowerAt(std::size_t level) const {
+    i64 v = nests[0]->levels[level].lower.eval(params, coords);
+    for (std::size_t i = 1; i < nests.size(); ++i)
+      v = std::min(v, nests[i]->levels[level].lower.eval(params, coords));
+    return v;
+  }
+
+  i64 upperAt(std::size_t level) const {
+    i64 v = nests[0]->levels[level].upper.eval(params, coords);
+    for (std::size_t i = 1; i < nests.size(); ++i)
+      v = std::max(v, nests[i]->levels[level].upper.eval(params, coords));
+    return v;
+  }
+
+  bool boundsIndependent(std::size_t level, std::size_t ofLevel) const {
+    for (const ScanNest* n : nests)
+      if (!n->levels[level].lower.independentOfLoopsFrom(ofLevel) ||
+          !n->levels[level].upper.independentOfLoopsFrom(ofLevel))
+        return false;
+    return true;
+  }
+
+  bool tailIsFullRows(std::size_t level) {
+    for (std::size_t j = level + 1; j < numLevels(); ++j) {
+      if (dims[j] <= 0) return false;
+      if (!boundsIndependent(j, level)) return false;
+      if (lowerAt(j) != 0) return false;
+      if (upperAt(j) != dims[j] - 1) return false;
+    }
+    return true;
+  }
+
+  void run(std::size_t level, i64 base) {
+    i64 lo = lowerAt(level);
+    i64 hi = upperAt(level);
+    if (lo > hi) return;
+    if (level + 1 == numLevels()) {
+      ++logicalRows;
+      emit(checkedAdd(base, lo), checkedAdd(base, hi + 1));
+      return;
+    }
+    if (coalesce && tailIsFullRows(level)) {
+      // Rows lo..hi are contiguous in row-major order: one range.  The
+      // uncoalesced scheme would have walked every row below this level.
+      i64 rows = hi - lo + 1;
+      for (std::size_t j = level + 1; j + 1 < numLevels(); ++j)
+        rows = checkedMul(rows, dims[j]);
+      logicalRows += rows;
+      emit(checkedAdd(base, checkedMul(lo, strides[level])),
+           checkedAdd(base, checkedMul(hi + 1, strides[level])));
+      return;
+    }
+    // Uniform tail: the innermost bounds do not depend on this loop
+    // variable, so evaluate them once and emit the per-row ranges with pure
+    // integer arithmetic (no AST re-evaluation per row).
+    if (coalesce && level + 2 == numLevels() && boundsIndependent(level + 1, level)) {
+      i64 ilo = lowerAt(level + 1);
+      i64 ihi = upperAt(level + 1);
+      if (ilo > ihi) return;
+      logicalRows += hi - lo + 1;
+      for (i64 v = lo; v <= hi; ++v) {
+        i64 rowBase = checkedAdd(base, checkedMul(v, strides[level]));
+        emit(rowBase + ilo, rowBase + ihi + 1);
+      }
+      return;
+    }
+    coords.push_back(lo);
+    for (i64 v = lo; v <= hi; ++v) {
+      coords.back() = v;
+      run(level + 1, checkedAdd(base, checkedMul(v, strides[level])));
+    }
+    coords.pop_back();
+  }
+};
+
+}  // namespace
+
+void Enumerator::enumerate(const PartitionTuple& partition,
+                           const ir::LaunchConfig& cfg,
+                           std::span<const i64> scalars, const RangeFn& emit,
+                           EnumInfo* info) const {
+  std::vector<i64> params = buildParams(partition, cfg, scalars);
+
+  // Evaluate the array extents and row-major strides.
+  std::vector<i64> dims(rank_, -1);
+  for (std::size_t i = 0; i < shapeRows_.size(); ++i) {
+    i64 acc = shapeRows_[i].constantTerm();
+    for (std::size_t p = 0; p < numModelParams_; ++p)
+      acc = checkedAdd(acc, checkedMul(shapeRows_[i][p + 1], params[p]));
+    dims[i] = acc;
+  }
+  std::vector<i64> strides(rank_, 1);
+  for (std::size_t i = rank_ - 1; i-- > 0;) {
+    PP_ASSERT_MSG(dims[i + 1] > 0, "multi-dimensional array with unknown extent");
+    strides[i] = checkedMul(strides[i + 1], dims[i + 1]);
+  }
+
+  // Collect ranges from every live disjunct, then sort and merge: disjuncts
+  // of a union map overlap (a stencil reads the same centre row five times),
+  // and merging keeps both transfer volume and tracker updates minimal.
+  std::vector<std::pair<i64, i64>> ranges;
+  RangeFn collect = [&](i64 b, i64 e) {
+    if (b < e) ranges.emplace_back(b, e);
+  };
+  i64 logicalRows = 0;
+
+  std::vector<const ScanNest*> live;
+  live.reserve(nests_.size());
+  for (const ScanNest& nest : nests_) {
+    bool ok = true;
+    for (const AstExpr& g : nest.guards)
+      if (g.eval(params, {}) < 0) {
+        ok = false;
+        break;
+      }
+    if (ok) live.push_back(&nest);
+  }
+
+  if (coalesce && hullable_ && live.size() > 1) {
+    // Rectangular hull over the live disjuncts (reads only).
+    EmitCtx ctx{live, params, strides, dims, coalesce, collect, {}};
+    ctx.coords.reserve(rank_);
+    ctx.run(0, 0);
+    logicalRows += ctx.logicalRows;
+  } else {
+    for (const ScanNest* nest : live) {
+      EmitCtx ctx{std::span<const ScanNest* const>(&nest, 1), params, strides,
+                  dims, coalesce, collect, {}};
+      ctx.coords.reserve(rank_);
+      ctx.run(0, 0);
+      logicalRows += ctx.logicalRows;
+    }
+  }
+
+  std::sort(ranges.begin(), ranges.end());
+  i64 pendBegin = 0, pendEnd = -1;
+  i64 emitted = 0;
+  bool pending = false;
+  for (const auto& [b, e] : ranges) {
+    if (pending && b <= pendEnd) {
+      pendEnd = std::max(pendEnd, e);
+      continue;
+    }
+    if (pending) {
+      emit(pendBegin, pendEnd);
+      ++emitted;
+    }
+    pendBegin = b;
+    pendEnd = e;
+    pending = true;
+  }
+  if (pending) {
+    emit(pendBegin, pendEnd);
+    ++emitted;
+  }
+  if (info) {
+    info->ranges += emitted;
+    info->logicalRows += logicalRows;
+  }
+}
+
+i64 Enumerator::countElements(const PartitionTuple& partition,
+                              const ir::LaunchConfig& cfg,
+                              std::span<const i64> scalars) const {
+  i64 total = 0;
+  enumerate(partition, cfg, scalars,
+            [&](i64 b, i64 e) { total = checkedAdd(total, e - b); });
+  return total;
+}
+
+std::string Enumerator::emitC() const {
+  std::string out;
+  out += "// Generated by polypart codegen (paper Section 6.2).\n";
+  out += "// Inputs are passed as arrays of 64-bit integers; the callback is\n";
+  out += "// invoked once per element range to avoid dynamic allocation.\n";
+  out += "void " + name_ +
+         "(const int64_t* partition, const int64_t* launch,\n"
+         "    const int64_t* scalars, void* ctx, polypart_range_cb cb) {\n";
+  // Parameter unpacking.
+  for (std::size_t i = 0; i < paramNames_.size(); ++i) {
+    std::string src;
+    if (i < 6) {
+      src = "launch[" + std::to_string(i) + "]";
+    } else if (i < numModelParams_) {
+      src = "scalars[" + std::to_string(i - 6) + "]";
+    } else {
+      src = "partition[" + std::to_string(i - numModelParams_) + "]";
+    }
+    out += "  const int64_t " + paramNames_[i] + " = " + src + ";\n";
+  }
+  for (std::size_t d = 0; d < nests_.size(); ++d) {
+    out += "  // Disjunct " + std::to_string(d) + "\n";
+    std::string body = pset::scanToC(nests_[d], paramNames_, "cb");
+    // Indent the generated nest.
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+      std::size_t nl = body.find('\n', pos);
+      if (nl == std::string::npos) nl = body.size();
+      out += "  " + body.substr(pos, nl - pos) + "\n";
+      pos = nl + 1;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::vector<Enumerator> buildEnumerators(const KernelModel& model) {
+  std::vector<Enumerator> out;
+  for (const ArrayModel& a : model.arrays) {
+    if (a.hasReads()) out.emplace_back(model, a, /*isWrite=*/false);
+    if (a.hasWrites()) out.emplace_back(model, a, /*isWrite=*/true);
+  }
+  return out;
+}
+
+}  // namespace polypart::codegen

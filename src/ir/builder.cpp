@@ -1,0 +1,14 @@
+#include "ir/builder.h"
+
+#include "ir/verify.h"
+
+namespace polypart::ir {
+
+KernelPtr KernelBuilder::build() {
+  PP_ASSERT_MSG(stack_.size() == 1, "unbalanced builder scopes");
+  auto kernel = std::make_shared<Kernel>(name_, std::move(params_), popBlock(), loadReuse_);
+  verify(*kernel);
+  return kernel;
+}
+
+}  // namespace polypart::ir

@@ -1,0 +1,131 @@
+#pragma once
+
+// Fluent construction of IR kernels.  Mirrors how CUDA kernels read:
+//
+//   KernelBuilder b("saxpy");
+//   auto n = b.scalar("n", Type::I64);
+//   auto a = b.scalar("a", Type::F64);
+//   auto x = b.array("x", Type::F64);
+//   auto y = b.array("y", Type::F64);
+//   auto i = b.let("i", b.globalId(Axis::X));
+//   b.iff(lt(i, n), [&] { b.store(y, i, a * b.load(x, i) + b.load(y, i)); });
+//   KernelPtr k = b.build();
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.h"
+
+namespace polypart::ir {
+
+/// Handle to an array parameter within the kernel being built.
+struct ArrayRef {
+  std::size_t argIndex = 0;
+  Type elemType = Type::F64;
+};
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name) : name_(std::move(name)) {
+    stack_.emplace_back();
+  }
+
+  // -- parameters ----------------------------------------------------------
+  ExprPtr scalar(const std::string& name, Type t) {
+    params_.push_back(Param{name, false, t, {}});
+    return Expr::arg(params_.size() - 1, t);
+  }
+
+  ArrayRef array(const std::string& name, Type elemType,
+                 std::vector<ExprPtr> shape = {}) {
+    params_.push_back(Param{name, true, elemType, std::move(shape)});
+    return ArrayRef{params_.size() - 1, elemType};
+  }
+
+  // -- builtins ------------------------------------------------------------
+  ExprPtr threadIdx(Axis a) const { return Expr::builtinVar(pick(a, Builtin::ThreadIdxX, Builtin::ThreadIdxY, Builtin::ThreadIdxZ)); }
+  ExprPtr blockIdx(Axis a) const { return Expr::builtinVar(pick(a, Builtin::BlockIdxX, Builtin::BlockIdxY, Builtin::BlockIdxZ)); }
+  ExprPtr blockDim(Axis a) const { return Expr::builtinVar(pick(a, Builtin::BlockDimX, Builtin::BlockDimY, Builtin::BlockDimZ)); }
+  ExprPtr gridDim(Axis a) const { return Expr::builtinVar(pick(a, Builtin::GridDimX, Builtin::GridDimY, Builtin::GridDimZ)); }
+
+  /// threadIdx.w + blockIdx.w * blockDim.w (paper Eq. 5).
+  ExprPtr globalId(Axis a) const {
+    return threadIdx(a) + blockIdx(a) * blockDim(a);
+  }
+
+  // -- memory --------------------------------------------------------------
+  ExprPtr load(ArrayRef arr, ExprPtr flatIndex) const {
+    return Expr::load(arr.argIndex, arr.elemType, std::move(flatIndex));
+  }
+
+  void store(ArrayRef arr, ExprPtr flatIndex, ExprPtr value) {
+    emit(Stmt::store(arr.argIndex, std::move(flatIndex), std::move(value)));
+  }
+
+  // -- locals & control flow ------------------------------------------------
+  ExprPtr let(const std::string& name, ExprPtr value) {
+    Type t = value->type();
+    emit(Stmt::let(name, std::move(value)));
+    return Expr::local(name, t);
+  }
+
+  void assign(const ExprPtr& localRef, ExprPtr value) {
+    PP_ASSERT(localRef->kind() == Expr::Kind::Local);
+    emit(Stmt::assign(localRef->localName(), std::move(value)));
+  }
+
+  void iff(ExprPtr cond, const std::function<void()>& thenBody,
+           const std::function<void()>& elseBody = nullptr) {
+    stack_.emplace_back();
+    thenBody();
+    StmtPtr thenBlock = popBlock();
+    StmtPtr elseBlock;
+    if (elseBody) {
+      stack_.emplace_back();
+      elseBody();
+      elseBlock = popBlock();
+    }
+    emit(Stmt::ifThen(std::move(cond), std::move(thenBlock), std::move(elseBlock)));
+  }
+
+  void forLoop(const std::string& var, ExprPtr lo, ExprPtr hi,
+               const std::function<void(ExprPtr)>& body) {
+    stack_.emplace_back();
+    body(Expr::local(var, Type::I64));
+    StmtPtr bodyBlock = popBlock();
+    emit(Stmt::forLoop(var, std::move(lo), std::move(hi), std::move(bodyBlock)));
+  }
+
+  /// Declares the on-chip load reuse factor (see Kernel::loadReuse).
+  void setLoadReuse(double factor) { loadReuse_ = factor; }
+
+  /// Finalizes the kernel; runs the verifier (ir/verify.h).
+  KernelPtr build();
+
+ private:
+  static Builtin pick(Axis a, Builtin x, Builtin y, Builtin z) {
+    switch (a) {
+      case Axis::X: return x;
+      case Axis::Y: return y;
+      case Axis::Z: return z;
+    }
+    PP_ASSERT(false);
+    return x;
+  }
+
+  void emit(StmtPtr s) { stack_.back().push_back(std::move(s)); }
+
+  StmtPtr popBlock() {
+    StmtPtr b = Stmt::block(std::move(stack_.back()));
+    stack_.pop_back();
+    return b;
+  }
+
+  std::string name_;
+  std::vector<Param> params_;
+  std::vector<std::vector<StmtPtr>> stack_;
+  double loadReuse_ = 1.0;
+};
+
+}  // namespace polypart::ir

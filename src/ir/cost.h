@@ -1,0 +1,28 @@
+#pragma once
+
+// Static per-thread cost estimation used by the timing-only execution mode
+// of the GPU simulator.  Counts floating-point operations and global-memory
+// accesses per thread for a concrete launch (scalar argument values known,
+// representative thread coordinates for data-dependent trip counts).
+
+#include <span>
+
+#include "ir/interp.h"
+
+namespace polypart::ir {
+
+struct ThreadCost {
+  double flops = 0;   // floating-point operations
+  double loads = 0;   // global-memory loads (elements)
+  double stores = 0;  // global-memory stores (elements)
+};
+
+/// Estimates the cost of one representative thread of `cfg` (the thread in
+/// the middle of the grid).  `args` supplies concrete scalar values; array
+/// entries are ignored apart from existing.  Loop trip counts are evaluated
+/// from the bounds; unevaluable bounds (data-dependent on loads) fall back
+/// to a trip count of 1.  Branches are costed as taken.
+ThreadCost estimateThreadCost(const Kernel& kernel, const LaunchConfig& cfg,
+                              std::span<const ArgValue> args);
+
+}  // namespace polypart::ir

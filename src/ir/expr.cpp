@@ -1,0 +1,202 @@
+#include "ir/expr.h"
+
+#include "support/str.h"
+
+namespace polypart::ir {
+
+const char* builtinName(Builtin b) {
+  switch (b) {
+    case Builtin::ThreadIdxX: return "threadIdx.x";
+    case Builtin::ThreadIdxY: return "threadIdx.y";
+    case Builtin::ThreadIdxZ: return "threadIdx.z";
+    case Builtin::BlockIdxX: return "blockIdx.x";
+    case Builtin::BlockIdxY: return "blockIdx.y";
+    case Builtin::BlockIdxZ: return "blockIdx.z";
+    case Builtin::BlockDimX: return "blockDim.x";
+    case Builtin::BlockDimY: return "blockDim.y";
+    case Builtin::BlockDimZ: return "blockDim.z";
+    case Builtin::GridDimX: return "gridDim.x";
+    case Builtin::GridDimY: return "gridDim.y";
+    case Builtin::GridDimZ: return "gridDim.z";
+  }
+  return "?";
+}
+
+const char* binOpName(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Rem: return "%";
+    case BinOp::Min: return "min";
+    case BinOp::Max: return "max";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+  }
+  return "?";
+}
+
+const char* mathFnName(MathFn f) {
+  switch (f) {
+    case MathFn::Sqrt: return "sqrt";
+    case MathFn::Rsqrt: return "rsqrt";
+    case MathFn::Exp: return "exp";
+    case MathFn::Fabs: return "fabs";
+  }
+  return "?";
+}
+
+namespace {
+
+bool isComparison(BinOp op) {
+  switch (op) {
+    case BinOp::Eq: case BinOp::Ne: case BinOp::Lt:
+    case BinOp::Le: case BinOp::Gt: case BinOp::Ge:
+    case BinOp::And: case BinOp::Or:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ExprPtr Expr::intConst(i64 v) {
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::IntConst;
+  e->type_ = Type::I64;
+  e->value_ = v;
+  return e;
+}
+
+ExprPtr Expr::floatConst(double v) {
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::FloatConst;
+  e->type_ = Type::F64;
+  e->fvalue_ = v;
+  return e;
+}
+
+ExprPtr Expr::arg(std::size_t index, Type t) {
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Arg;
+  e->type_ = t;
+  e->argIndex_ = index;
+  return e;
+}
+
+ExprPtr Expr::local(std::string name, Type t) {
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Local;
+  e->type_ = t;
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::builtinVar(Builtin b) {
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::BuiltinVar;
+  e->type_ = Type::I64;
+  e->builtin_ = b;
+  return e;
+}
+
+ExprPtr Expr::load(std::size_t arrayArg, Type elemType, ExprPtr flatIndex) {
+  PP_ASSERT(flatIndex && flatIndex->type() == Type::I64);
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Load;
+  e->type_ = elemType;
+  e->argIndex_ = arrayArg;
+  e->args_ = {std::move(flatIndex)};
+  return e;
+}
+
+ExprPtr Expr::unary(UnOp op, ExprPtr a) {
+  PP_ASSERT(a);
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Unary;
+  e->type_ = op == UnOp::Not ? Type::I64 : a->type();
+  e->unOp_ = op;
+  e->args_ = {std::move(a)};
+  return e;
+}
+
+ExprPtr Expr::binary(BinOp op, ExprPtr a, ExprPtr b) {
+  PP_ASSERT(a && b);
+  PP_ASSERT_MSG(a->type() == b->type(), "binary operand type mismatch");
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Binary;
+  e->type_ = isComparison(op) ? Type::I64 : a->type();
+  e->binOp_ = op;
+  e->args_ = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr Expr::select(ExprPtr cond, ExprPtr ifTrue, ExprPtr ifFalse) {
+  PP_ASSERT(cond && ifTrue && ifFalse);
+  PP_ASSERT(cond->type() == Type::I64);
+  PP_ASSERT(ifTrue->type() == ifFalse->type());
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Select;
+  e->type_ = ifTrue->type();
+  e->args_ = {std::move(cond), std::move(ifTrue), std::move(ifFalse)};
+  return e;
+}
+
+ExprPtr Expr::cast(Type to, ExprPtr a) {
+  PP_ASSERT(a);
+  if (a->type() == to) return a;
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Cast;
+  e->type_ = to;
+  e->args_ = {std::move(a)};
+  return e;
+}
+
+ExprPtr Expr::math(MathFn fn, ExprPtr a) {
+  PP_ASSERT(a && a->type() == Type::F64);
+  auto e = std::make_shared<Expr>();
+  e->kind_ = Kind::Math;
+  e->type_ = Type::F64;
+  e->mathFn_ = fn;
+  e->args_ = {std::move(a)};
+  return e;
+}
+
+std::string Expr::str() const {
+  switch (kind_) {
+    case Kind::IntConst: return std::to_string(value_);
+    case Kind::FloatConst: return format("%g", fvalue_);
+    case Kind::Arg: return "arg" + std::to_string(argIndex_);
+    case Kind::Local: return name_;
+    case Kind::BuiltinVar: return builtinName(builtin_);
+    case Kind::Load:
+      return "arg" + std::to_string(argIndex_) + "[" + args_[0]->str() + "]";
+    case Kind::Unary:
+      return std::string(unOp_ == UnOp::Neg ? "-" : "!") + "(" + args_[0]->str() + ")";
+    case Kind::Binary: {
+      if (binOp_ == BinOp::Min || binOp_ == BinOp::Max)
+        return std::string(binOpName(binOp_)) + "(" + args_[0]->str() + ", " +
+               args_[1]->str() + ")";
+      return "(" + args_[0]->str() + " " + binOpName(binOp_) + " " +
+             args_[1]->str() + ")";
+    }
+    case Kind::Select:
+      return "(" + args_[0]->str() + " ? " + args_[1]->str() + " : " +
+             args_[2]->str() + ")";
+    case Kind::Cast:
+      return std::string("(") + typeName(type_) + ")(" + args_[0]->str() + ")";
+    case Kind::Math:
+      return std::string(mathFnName(mathFn_)) + "(" + args_[0]->str() + ")";
+  }
+  return "?";
+}
+
+}  // namespace polypart::ir

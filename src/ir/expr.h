@@ -1,0 +1,125 @@
+#pragma once
+
+// Expression nodes of the kernel IR.
+//
+// Expressions are immutable trees shared via shared_ptr, so transformation
+// passes (e.g. kernel partitioning, paper Section 7) rebuild only the spine
+// they change.  The IR is deliberately small: CUDA builtin variables, kernel
+// arguments, locals, arithmetic/comparison operators, array loads, selects,
+// casts, and a few math intrinsics.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace polypart::ir {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// CUDA special registers: threadIdx/blockIdx/blockDim/gridDim × x/y/z.
+enum class Builtin {
+  ThreadIdxX, ThreadIdxY, ThreadIdxZ,
+  BlockIdxX, BlockIdxY, BlockIdxZ,
+  BlockDimX, BlockDimY, BlockDimZ,
+  GridDimX, GridDimY, GridDimZ,
+};
+
+const char* builtinName(Builtin b);
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Rem,  // Div/Rem on I64 truncate toward zero (C semantics)
+  Min, Max,
+  Eq, Ne, Lt, Le, Gt, Ge,   // comparisons yield I64 0/1
+  And, Or,                  // logical on I64 0/1
+};
+
+const char* binOpName(BinOp op);
+
+enum class UnOp { Neg, Not };
+
+enum class MathFn { Sqrt, Rsqrt, Exp, Fabs };
+
+const char* mathFnName(MathFn f);
+
+class Expr {
+ public:
+  enum class Kind {
+    IntConst,    // value_
+    FloatConst,  // fvalue_
+    Arg,         // kernel argument by index (scalar or pointer-less use)
+    Local,       // local variable by name (let-bound or loop variable)
+    BuiltinVar,  // builtin_
+    Load,        // args_[0..] = flat index expr; argIndex_ = array argument
+    Unary,       // op on args_[0]
+    Binary,      // binOp_ on args_[0], args_[1]
+    Select,      // args_[0] ? args_[1] : args_[2]
+    Cast,        // args_[0] converted to type_
+    Math,        // mathFn_ applied to args_[0]
+  };
+
+  Kind kind() const { return kind_; }
+  Type type() const { return type_; }
+
+  i64 intValue() const { return value_; }
+  double floatValue() const { return fvalue_; }
+  std::size_t argIndex() const { return argIndex_; }
+  const std::string& localName() const { return name_; }
+  Builtin builtin() const { return builtin_; }
+  BinOp binOp() const { return binOp_; }
+  UnOp unOp() const { return unOp_; }
+  MathFn mathFn() const { return mathFn_; }
+  const std::vector<ExprPtr>& operands() const { return args_; }
+
+  // -- factories -----------------------------------------------------------
+  static ExprPtr intConst(i64 v);
+  static ExprPtr floatConst(double v);
+  static ExprPtr arg(std::size_t index, Type t);
+  static ExprPtr local(std::string name, Type t);
+  static ExprPtr builtinVar(Builtin b);
+  static ExprPtr load(std::size_t arrayArg, Type elemType, ExprPtr flatIndex);
+  static ExprPtr unary(UnOp op, ExprPtr a);
+  static ExprPtr binary(BinOp op, ExprPtr a, ExprPtr b);
+  static ExprPtr select(ExprPtr cond, ExprPtr ifTrue, ExprPtr ifFalse);
+  static ExprPtr cast(Type to, ExprPtr a);
+  static ExprPtr math(MathFn fn, ExprPtr a);
+
+  /// Renders the expression as C-like source.
+  std::string str() const;
+
+ private:
+  Kind kind_ = Kind::IntConst;
+  Type type_ = Type::I64;
+  i64 value_ = 0;
+  double fvalue_ = 0;
+  std::size_t argIndex_ = 0;
+  std::string name_;
+  Builtin builtin_ = Builtin::ThreadIdxX;
+  BinOp binOp_ = BinOp::Add;
+  UnOp unOp_ = UnOp::Neg;
+  MathFn mathFn_ = MathFn::Sqrt;
+  std::vector<ExprPtr> args_;
+};
+
+// Convenience operators for building kernels; all work on ExprPtr.
+inline ExprPtr operator+(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::Add, std::move(a), std::move(b)); }
+inline ExprPtr operator-(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::Sub, std::move(a), std::move(b)); }
+inline ExprPtr operator*(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::Mul, std::move(a), std::move(b)); }
+inline ExprPtr operator/(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::Div, std::move(a), std::move(b)); }
+inline ExprPtr operator%(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::Rem, std::move(a), std::move(b)); }
+
+inline ExprPtr eq(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::Eq, std::move(a), std::move(b)); }
+inline ExprPtr ne(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::Ne, std::move(a), std::move(b)); }
+inline ExprPtr lt(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::Lt, std::move(a), std::move(b)); }
+inline ExprPtr le(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::Le, std::move(a), std::move(b)); }
+inline ExprPtr gt(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::Gt, std::move(a), std::move(b)); }
+inline ExprPtr ge(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::Ge, std::move(a), std::move(b)); }
+inline ExprPtr land(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::And, std::move(a), std::move(b)); }
+inline ExprPtr lor(ExprPtr a, ExprPtr b) { return Expr::binary(BinOp::Or, std::move(a), std::move(b)); }
+
+inline ExprPtr iconst(i64 v) { return Expr::intConst(v); }
+inline ExprPtr fconst(double v) { return Expr::floatConst(v); }
+
+}  // namespace polypart::ir

@@ -1,0 +1,90 @@
+#pragma once
+
+// Kernel definitions: parameter list plus a statement body.  A Module groups
+// the kernels of one application, mirroring one CUDA translation unit's
+// device code.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace polypart::ir {
+
+/// A kernel parameter: either a scalar (i64/f64) or a global-memory array.
+/// Arrays carry their element type and an optional logical shape given as
+/// expressions over the *scalar* parameters (outermost dimension first).
+/// The shape feeds delinearization and row-major range enumeration; a
+/// shapeless array is treated as one-dimensional.
+struct Param {
+  std::string name;
+  bool isArray = false;
+  Type type = Type::I64;          // scalar type or array element type
+  std::vector<ExprPtr> shape;     // empty for scalars and 1-D arrays
+};
+
+class Kernel {
+ public:
+  Kernel(std::string name, std::vector<Param> params, StmtPtr body,
+         double loadReuse = 1.0)
+      : name_(std::move(name)), params_(std::move(params)), body_(std::move(body)),
+        loadReuse_(loadReuse) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Param>& params() const { return params_; }
+  const Param& param(std::size_t i) const { return params_[i]; }
+  const StmtPtr& body() const { return body_; }
+
+  /// On-chip reuse factor for global loads: how many program-level loads
+  /// are served per DRAM access (shared-memory tiles, L1/L2 hits).  The IR
+  /// has no shared memory, so implementations that tile — the paper's
+  /// "basic tiled" Matmul, shared-memory N-Body — declare their effective
+  /// reuse here and the device timing model divides load traffic by it.
+  double loadReuse() const { return loadReuse_; }
+
+  std::size_t numParams() const { return params_.size(); }
+
+  std::vector<std::size_t> arrayParamIndices() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < params_.size(); ++i)
+      if (params_[i].isArray) out.push_back(i);
+    return out;
+  }
+
+  std::vector<std::size_t> scalarParamIndices() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < params_.size(); ++i)
+      if (!params_[i].isArray) out.push_back(i);
+    return out;
+  }
+
+  /// C-like rendering of the whole kernel.
+  std::string str() const;
+
+ private:
+  std::string name_;
+  std::vector<Param> params_;
+  StmtPtr body_;
+  double loadReuse_ = 1.0;
+};
+
+using KernelPtr = std::shared_ptr<const Kernel>;
+
+/// One application's device code.
+class Module {
+ public:
+  void addKernel(KernelPtr k) { kernels_.push_back(std::move(k)); }
+  const std::vector<KernelPtr>& kernels() const { return kernels_; }
+
+  KernelPtr find(const std::string& name) const {
+    for (const KernelPtr& k : kernels_)
+      if (k->name() == name) return k;
+    return nullptr;
+  }
+
+ private:
+  std::vector<KernelPtr> kernels_;
+};
+
+}  // namespace polypart::ir

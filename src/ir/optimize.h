@@ -1,0 +1,39 @@
+#pragma once
+
+// Middle-end optimization passes over the kernel IR.
+//
+// The real toolchain inherits LLVM's full pass pipeline; these passes are
+// the equivalents the partitioning machinery actually benefits from:
+//
+//  - constant folding + algebraic simplification (x*1, x+0, 0*x, constant
+//    comparisons, select-of-constant-condition): kernels produced by the
+//    partitioning transformation contain `blockIdx.w + 0`-style expressions
+//    whenever a partition starts at the origin;
+//  - branch simplification: `if (1)` / `if (0)` collapse to a branch body;
+//  - dead code elimination: lets whose value is never used (after the other
+//    passes) disappear.
+//
+// All passes are semantics-preserving on well-formed kernels; the property
+// tests in tests/optimize_test.cpp check optimized-vs-original execution
+// equality on random inputs.
+
+#include "ir/kernel.h"
+
+namespace polypart::ir {
+
+struct OptimizeStats {
+  int foldedExpressions = 0;
+  int simplifiedBranches = 0;
+  int eliminatedLets = 0;
+};
+
+/// Folds constants and simplifies algebra in one expression tree.
+ExprPtr foldExpr(const ExprPtr& e, OptimizeStats* stats = nullptr);
+
+/// Runs the full pipeline (fold -> branch simplify -> DCE) to a fixpoint.
+KernelPtr optimizeKernel(const Kernel& kernel, OptimizeStats* stats = nullptr);
+
+/// Optimizes every kernel of a module.
+Module optimizeModule(const Module& module, OptimizeStats* stats = nullptr);
+
+}  // namespace polypart::ir

@@ -1,0 +1,136 @@
+#include "ir/stmt.h"
+
+#include "ir/kernel.h"
+#include "support/str.h"
+
+namespace polypart::ir {
+
+StmtPtr Stmt::block(std::vector<StmtPtr> stmts) {
+  auto s = std::make_shared<Stmt>();
+  s->kind_ = Kind::Block;
+  s->body_ = std::move(stmts);
+  return s;
+}
+
+StmtPtr Stmt::let(std::string name, ExprPtr value) {
+  PP_ASSERT(value);
+  auto s = std::make_shared<Stmt>();
+  s->kind_ = Kind::Let;
+  s->name_ = std::move(name);
+  s->expr_ = std::move(value);
+  return s;
+}
+
+StmtPtr Stmt::assign(std::string name, ExprPtr value) {
+  PP_ASSERT(value);
+  auto s = std::make_shared<Stmt>();
+  s->kind_ = Kind::Assign;
+  s->name_ = std::move(name);
+  s->expr_ = std::move(value);
+  return s;
+}
+
+StmtPtr Stmt::store(std::size_t arrayArg, ExprPtr flatIndex, ExprPtr value) {
+  PP_ASSERT(flatIndex && value);
+  PP_ASSERT(flatIndex->type() == Type::I64);
+  auto s = std::make_shared<Stmt>();
+  s->kind_ = Kind::Store;
+  s->argIndex_ = arrayArg;
+  s->index_ = std::move(flatIndex);
+  s->expr_ = std::move(value);
+  return s;
+}
+
+StmtPtr Stmt::forLoop(std::string name, ExprPtr lo, ExprPtr hi, StmtPtr body) {
+  PP_ASSERT(lo && hi && body);
+  PP_ASSERT(lo->type() == Type::I64 && hi->type() == Type::I64);
+  auto s = std::make_shared<Stmt>();
+  s->kind_ = Kind::For;
+  s->name_ = std::move(name);
+  s->lo_ = std::move(lo);
+  s->hi_ = std::move(hi);
+  s->body_ = {std::move(body)};
+  return s;
+}
+
+StmtPtr Stmt::ifThen(ExprPtr cond, StmtPtr then, StmtPtr otherwise) {
+  PP_ASSERT(cond && then);
+  PP_ASSERT(cond->type() == Type::I64);
+  auto s = std::make_shared<Stmt>();
+  s->kind_ = Kind::If;
+  s->cond_ = std::move(cond);
+  s->body_ = {std::move(then), std::move(otherwise)};
+  return s;
+}
+
+namespace {
+
+void render(const Stmt& s, int indent, std::string& out) {
+  auto pad = [&] { out.append(static_cast<std::size_t>(indent) * 2, ' '); };
+  switch (s.kind()) {
+    case Stmt::Kind::Block:
+      for (const StmtPtr& c : s.body()) render(*c, indent, out);
+      break;
+    case Stmt::Kind::Let:
+      pad();
+      out += "let " + s.varName() + " = " + s.value()->str() + ";\n";
+      break;
+    case Stmt::Kind::Assign:
+      pad();
+      out += s.varName() + " = " + s.value()->str() + ";\n";
+      break;
+    case Stmt::Kind::Store:
+      pad();
+      out += "arg" + std::to_string(s.arrayArg()) + "[" + s.index()->str() +
+             "] = " + s.value()->str() + ";\n";
+      break;
+    case Stmt::Kind::For:
+      pad();
+      out += "for (" + s.varName() + " = " + s.lo()->str() + "; " + s.varName() +
+             " < " + s.hi()->str() + "; ++" + s.varName() + ") {\n";
+      render(*s.body()[0], indent + 1, out);
+      pad();
+      out += "}\n";
+      break;
+    case Stmt::Kind::If:
+      pad();
+      out += "if (" + s.cond()->str() + ") {\n";
+      render(*s.body()[0], indent + 1, out);
+      if (s.body()[1]) {
+        pad();
+        out += "} else {\n";
+        render(*s.body()[1], indent + 1, out);
+      }
+      pad();
+      out += "}\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Stmt::str(int indent) const {
+  std::string out;
+  render(*this, indent, out);
+  return out;
+}
+
+std::string Kernel::str() const {
+  std::string out = "__global__ void " + name_ + "(";
+  std::vector<std::string> ps;
+  for (const Param& p : params_) {
+    std::string decl = std::string(typeName(p.type)) + (p.isArray ? "* " : " ") + p.name;
+    if (!p.shape.empty()) {
+      decl += " /* shape:";
+      for (const ExprPtr& d : p.shape) decl += " [" + d->str() + "]";
+      decl += " */";
+    }
+    ps.push_back(decl);
+  }
+  out += join(ps, ", ") + ") {\n";
+  out += body_->str(1);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace polypart::ir

@@ -1,0 +1,61 @@
+#pragma once
+
+// Statement nodes of the kernel IR: structured control flow only (sequential
+// loops, conditionals, blocks), matching the paper's restriction to reducible
+// control flow (Section 4).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace polypart::ir {
+
+class Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+class Stmt {
+ public:
+  enum class Kind {
+    Block,   // body_
+    Let,     // name_ := expr_ (immutable local)
+    Assign,  // name_ := expr_ (re-assignment of a mutable local)
+    Store,   // arrayArg_[index_] = expr_
+    For,     // for (name_ = lo_; name_ < hi_; name_ += 1) body_[0]
+    If,      // if (cond_) body_[0] else body_[1] (else may be null)
+  };
+
+  Kind kind() const { return kind_; }
+  const std::string& varName() const { return name_; }
+  const ExprPtr& value() const { return expr_; }
+  std::size_t arrayArg() const { return argIndex_; }
+  const ExprPtr& index() const { return index_; }
+  const ExprPtr& lo() const { return lo_; }
+  const ExprPtr& hi() const { return hi_; }
+  const ExprPtr& cond() const { return cond_; }
+  const std::vector<StmtPtr>& body() const { return body_; }
+
+  static StmtPtr block(std::vector<StmtPtr> stmts);
+  static StmtPtr let(std::string name, ExprPtr value);
+  static StmtPtr assign(std::string name, ExprPtr value);
+  static StmtPtr store(std::size_t arrayArg, ExprPtr flatIndex, ExprPtr value);
+  /// `for (name = lo; name < hi; ++name) body` — `name` has type I64.
+  static StmtPtr forLoop(std::string name, ExprPtr lo, ExprPtr hi, StmtPtr body);
+  static StmtPtr ifThen(ExprPtr cond, StmtPtr then, StmtPtr otherwise = nullptr);
+
+  /// C-like rendering with the given indent.
+  std::string str(int indent = 0) const;
+
+ private:
+  Kind kind_ = Kind::Block;
+  std::string name_;
+  ExprPtr expr_;
+  std::size_t argIndex_ = 0;
+  ExprPtr index_;
+  ExprPtr lo_, hi_;
+  ExprPtr cond_;
+  std::vector<StmtPtr> body_;
+};
+
+}  // namespace polypart::ir

@@ -1,0 +1,42 @@
+#pragma once
+
+// Kernel partitioning transformation (paper Section 7).
+//
+// Given a kernel, produces a clone with six appended i64 parameters
+// describing a half-open thread-block box, and applies the substitution
+// rules of Eqs. (8) and (9):
+//
+//   blockIdx.w -> partition.min_w + blockIdx.w
+//   gridDim.w  -> partition.max_w
+//
+// The transformed kernel must be launched with gridConf.w =
+// partition.max_w - partition.min_w (Eq. 10); computing that configuration
+// is the launcher's job (rt/launch.h).
+
+#include "ir/kernel.h"
+
+namespace polypart::ir {
+
+/// A half-open box of thread blocks: blocks b with lo.w <= b.w < hi.w.
+struct GridPartition {
+  Dim3 lo;  // inclusive
+  Dim3 hi;  // exclusive
+
+  i64 blockCount() const {
+    return checkedMul(checkedMul(hi.x - lo.x, hi.y - lo.y), hi.z - lo.z);
+  }
+  bool operator==(const GridPartition&) const = default;
+};
+
+/// Names of the appended partition parameters, in order:
+/// min.x, min.y, min.z, max.x, max.y, max.z.
+inline constexpr const char* kPartitionParamNames[6] = {
+    "__part_min_x", "__part_min_y", "__part_min_z",
+    "__part_max_x", "__part_max_y", "__part_max_z",
+};
+
+/// Returns the partitioned clone (name suffixed with "__part").  The clone
+/// has numParams() + 6 parameters.
+KernelPtr partitionKernel(const Kernel& kernel);
+
+}  // namespace polypart::ir

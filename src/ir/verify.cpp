@@ -1,0 +1,150 @@
+#include "ir/verify.h"
+
+#include <map>
+#include <set>
+
+#include "support/error.h"
+
+namespace polypart::ir {
+
+namespace {
+
+struct Verifier {
+  const Kernel& kernel;
+  // Locals in scope with their types; inner scopes push/pop.
+  std::map<std::string, Type> locals;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("kernel '" + kernel.name() + "': " + msg);
+  }
+
+  void checkShapeExpr(const Expr& e) const {
+    switch (e.kind()) {
+      case Expr::Kind::IntConst:
+        return;
+      case Expr::Kind::Arg: {
+        if (e.argIndex() >= kernel.numParams()) fail("shape arg index out of range");
+        const Param& p = kernel.param(e.argIndex());
+        if (p.isArray) fail("array shape refers to array parameter '" + p.name + "'");
+        if (p.type != Type::I64) fail("array shape refers to non-integer scalar");
+        return;
+      }
+      case Expr::Kind::Binary:
+        for (const ExprPtr& k : e.operands()) checkShapeExpr(*k);
+        return;
+      default:
+        fail("array shape expression must be affine in scalar parameters");
+    }
+  }
+
+  void checkExpr(const Expr& e) {
+    switch (e.kind()) {
+      case Expr::Kind::IntConst:
+      case Expr::Kind::FloatConst:
+      case Expr::Kind::BuiltinVar:
+        break;
+      case Expr::Kind::Arg: {
+        if (e.argIndex() >= kernel.numParams()) fail("arg index out of range");
+        const Param& p = kernel.param(e.argIndex());
+        if (p.isArray) fail("array parameter '" + p.name + "' used as a scalar");
+        if (p.type != e.type()) fail("scalar '" + p.name + "' used with wrong type");
+        break;
+      }
+      case Expr::Kind::Local: {
+        auto it = locals.find(e.localName());
+        if (it == locals.end()) fail("use of undefined local '" + e.localName() + "'");
+        if (it->second != e.type())
+          fail("local '" + e.localName() + "' used with wrong type");
+        break;
+      }
+      case Expr::Kind::Load: {
+        if (e.argIndex() >= kernel.numParams()) fail("load arg index out of range");
+        const Param& p = kernel.param(e.argIndex());
+        if (!p.isArray) fail("load from scalar parameter '" + p.name + "'");
+        if (p.type != e.type()) fail("load type mismatch on '" + p.name + "'");
+        break;
+      }
+      case Expr::Kind::Unary:
+      case Expr::Kind::Binary:
+      case Expr::Kind::Select:
+      case Expr::Kind::Cast:
+      case Expr::Kind::Math:
+        break;
+    }
+    for (const ExprPtr& k : e.operands()) checkExpr(*k);
+  }
+
+  void checkStmt(const Stmt& s) {
+    switch (s.kind()) {
+      case Stmt::Kind::Block: {
+        // Locals declared in a block go out of scope at its end.
+        std::map<std::string, Type> saved = locals;
+        for (const StmtPtr& c : s.body()) checkStmt(*c);
+        locals = std::move(saved);
+        break;
+      }
+      case Stmt::Kind::Let: {
+        checkExpr(*s.value());
+        if (locals.count(s.varName()))
+          fail("redefinition of local '" + s.varName() + "'");
+        locals.emplace(s.varName(), s.value()->type());
+        break;
+      }
+      case Stmt::Kind::Assign: {
+        checkExpr(*s.value());
+        auto it = locals.find(s.varName());
+        if (it == locals.end())
+          fail("assignment to undefined local '" + s.varName() + "'");
+        if (it->second != s.value()->type())
+          fail("assignment type mismatch on '" + s.varName() + "'");
+        break;
+      }
+      case Stmt::Kind::Store: {
+        checkExpr(*s.index());
+        checkExpr(*s.value());
+        if (s.arrayArg() >= kernel.numParams()) fail("store arg index out of range");
+        const Param& p = kernel.param(s.arrayArg());
+        if (!p.isArray) fail("store to scalar parameter '" + p.name + "'");
+        if (p.type != s.value()->type())
+          fail("store type mismatch on '" + p.name + "'");
+        break;
+      }
+      case Stmt::Kind::For: {
+        checkExpr(*s.lo());
+        checkExpr(*s.hi());
+        if (locals.count(s.varName()))
+          fail("loop variable shadows local '" + s.varName() + "'");
+        std::map<std::string, Type> saved = locals;
+        locals.emplace(s.varName(), Type::I64);
+        checkStmt(*s.body()[0]);
+        locals = std::move(saved);
+        break;
+      }
+      case Stmt::Kind::If: {
+        checkExpr(*s.cond());
+        std::map<std::string, Type> saved = locals;
+        checkStmt(*s.body()[0]);
+        locals = saved;
+        if (s.body()[1]) checkStmt(*s.body()[1]);
+        locals = std::move(saved);
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void verify(const Kernel& kernel) {
+  std::set<std::string> names;
+  for (const Param& p : kernel.params()) {
+    if (!names.insert(p.name).second)
+      throw Error("kernel '" + kernel.name() + "': duplicate parameter '" + p.name + "'");
+  }
+  Verifier v{kernel, {}};
+  for (const Param& p : kernel.params())
+    for (const ExprPtr& d : p.shape) v.checkShapeExpr(*d);
+  v.checkStmt(*kernel.body());
+}
+
+}  // namespace polypart::ir

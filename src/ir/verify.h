@@ -1,0 +1,17 @@
+#pragma once
+
+// Structural and type verification of IR kernels.  Throws Error with a
+// description of the first problem found.  Checks:
+//   - argument indices are in range and scalar/array uses match declarations,
+//   - locals are defined before use and not redefined in the same scope,
+//   - loop bounds and conditions have integer type,
+//   - stored values match the array element type,
+//   - array shape expressions only reference scalar parameters.
+
+#include "ir/kernel.h"
+
+namespace polypart::ir {
+
+void verify(const Kernel& kernel);
+
+}  // namespace polypart::ir

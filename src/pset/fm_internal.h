@@ -1,0 +1,39 @@
+#pragma once
+
+// Internal row-level machinery shared by BasicSet simplification and
+// Fourier-Motzkin elimination.  Not part of the public pset API.
+
+#include <vector>
+
+#include "pset/linexpr.h"
+
+namespace polypart::pset::detail {
+
+struct Rows {
+  std::vector<Constraint> rows;
+  bool empty = false;  // a constant contradiction was found
+};
+
+/// Normalizes rows in place: gcd tightening, constant-row elimination,
+/// duplicate/parallel-bound merging, opposite-inequality -> equality
+/// promotion.  Sets `empty` on contradiction.
+void simplifyRows(Rows& r);
+
+struct ElimResult {
+  std::vector<Constraint> rows;
+  bool exact = true;
+  bool empty = false;
+};
+
+/// Existentially eliminates every column `c` with `elim[c]` set (column 0,
+/// the constant, must never be set).  Elimination order is chosen greedily
+/// to limit constraint growth.  `exact` is cleared when the integer
+/// projection had to be over-approximated.
+ElimResult eliminateColumns(std::vector<Constraint> rows,
+                            const std::vector<bool>& elim);
+
+/// Evaluates a constraint row against a concrete column assignment
+/// (`values[0]` must be 1 for the constant column).
+i64 evalRow(const LinExpr& e, const std::vector<i64>& values);
+
+}  // namespace polypart::pset::detail

@@ -1,0 +1,123 @@
+#pragma once
+
+// Affine (linear + constant) expressions over a Space.
+//
+// A LinExpr is a dense row of coefficients following the Space column layout
+// (constant, parameters, input dims, output dims).  All arithmetic is
+// overflow-checked.
+
+#include <vector>
+
+#include "pset/space.h"
+#include "support/arith.h"
+
+namespace polypart::pset {
+
+class LinExpr {
+ public:
+  LinExpr() = default;
+
+  /// The zero expression for `space`.
+  explicit LinExpr(const Space& space) : row_(space.cols(), 0) {}
+
+  static LinExpr constant(const Space& space, i64 c) {
+    LinExpr e(space);
+    e.row_[0] = c;
+    return e;
+  }
+
+  static LinExpr dim(const Space& space, DimId d, i64 coef = 1) {
+    LinExpr e(space);
+    e.row_[space.col(d)] = coef;
+    return e;
+  }
+
+  std::size_t cols() const { return row_.size(); }
+  i64 operator[](std::size_t col) const { return row_[col]; }
+  i64& operator[](std::size_t col) { return row_[col]; }
+  i64 constantTerm() const { return row_[0]; }
+
+  i64 coef(const Space& space, DimId d) const { return row_[space.col(d)]; }
+  void setCoef(const Space& space, DimId d, i64 v) { row_[space.col(d)] = v; }
+
+  LinExpr& addInPlace(const LinExpr& o) {
+    PP_ASSERT(o.cols() == cols());
+    for (std::size_t i = 0; i < row_.size(); ++i)
+      row_[i] = checkedAdd(row_[i], o.row_[i]);
+    return *this;
+  }
+
+  LinExpr& subInPlace(const LinExpr& o) {
+    PP_ASSERT(o.cols() == cols());
+    for (std::size_t i = 0; i < row_.size(); ++i)
+      row_[i] = checkedSub(row_[i], o.row_[i]);
+    return *this;
+  }
+
+  LinExpr& scaleInPlace(i64 f) {
+    for (auto& v : row_) v = checkedMul(v, f);
+    return *this;
+  }
+
+  LinExpr& addConstant(i64 c) {
+    row_[0] = checkedAdd(row_[0], c);
+    return *this;
+  }
+
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a.addInPlace(b); }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b) { return a.subInPlace(b); }
+  friend LinExpr operator*(LinExpr a, i64 f) { return a.scaleInPlace(f); }
+  friend LinExpr operator-(LinExpr a) { return a.scaleInPlace(-1); }
+
+  bool isZero() const {
+    for (i64 v : row_) if (v != 0) return false;
+    return true;
+  }
+
+  bool isConstant() const {
+    for (std::size_t i = 1; i < row_.size(); ++i)
+      if (row_[i] != 0) return false;
+    return true;
+  }
+
+  /// Rewrites the row for a space with dimensions removed; `colMap[i]` gives
+  /// the new column of old column i, or npos when dropped (must be zero).
+  LinExpr remapped(const std::vector<std::size_t>& colMap, std::size_t newCols) const;
+
+  const std::vector<i64>& row() const { return row_; }
+  std::vector<i64>& row() { return row_; }
+
+  bool operator==(const LinExpr&) const = default;
+
+ private:
+  std::vector<i64> row_;
+};
+
+inline LinExpr LinExpr::remapped(const std::vector<std::size_t>& colMap,
+                                 std::size_t newCols) const {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  LinExpr out;
+  out.row_.assign(newCols, 0);
+  PP_ASSERT(colMap.size() == row_.size());
+  for (std::size_t i = 0; i < row_.size(); ++i) {
+    if (colMap[i] == npos) {
+      PP_ASSERT_MSG(row_[i] == 0, "dropping a dimension with nonzero coefficient");
+    } else {
+      out.row_[colMap[i]] = row_[i];
+    }
+  }
+  return out;
+}
+
+/// One affine constraint: `expr == 0` (equality) or `expr >= 0` (inequality).
+struct Constraint {
+  LinExpr expr;
+  bool isEquality = false;
+
+  static Constraint eq(LinExpr e) { return {std::move(e), true}; }
+  static Constraint ge(LinExpr e) { return {std::move(e), false}; }
+
+  bool operator==(const Constraint&) const = default;
+};
+
+}  // namespace polypart::pset

@@ -1,0 +1,60 @@
+#pragma once
+
+// A Map is a union of basic relations (BasicSets whose space has output
+// dimensions).  Memory access maps take thread-grid coordinates to array
+// subscripts: Z^6 -> Z^d (paper Section 4.1).
+
+#include <string>
+#include <vector>
+
+#include "pset/set.h"
+
+namespace polypart::pset {
+
+class Map {
+ public:
+  Map() = default;
+  explicit Map(Space space) : space_(std::move(space)) {
+    PP_ASSERT(!space_.isSet());
+  }
+
+  const Space& space() const { return space_; }
+  const std::vector<BasicSet>& parts() const { return parts_; }
+  bool exact() const { return exact_; }
+  void markInexact() { exact_ = false; }
+  bool isEmpty() const { return parts_.empty(); }
+
+  void addPart(BasicSet bs);
+
+  Map unionWith(const Map& o) const;
+
+  /// Intersects every disjunct with extra constraints (e.g. a partition box
+  /// over the input dimensions, or a parameter context).
+  Map intersect(const BasicSet& bs) const;
+
+  /// The image of the map's domain: projects out the input dimensions,
+  /// yielding a Set over the output (array) dimensions.
+  Set range() const;
+
+  /// The domain as a Set over the input dimensions.
+  Set domain() const;
+
+  /// Checks that no two distinct domain points map to the same range point
+  /// (required for write maps, paper Section 4.1).  `context` constrains the
+  /// parameters (e.g. positive sizes); pass a universe set when unneeded.
+  /// Conservative: `Unknown` must be treated as "not injective".
+  Tri isInjective(const BasicSet& context) const;
+
+  /// Membership test for a concrete (params, in, out) triple.
+  bool contains(std::span<const i64> params, std::span<const i64> ins,
+                std::span<const i64> outs) const;
+
+  std::string str() const;
+
+ private:
+  Space space_;
+  std::vector<BasicSet> parts_;
+  bool exact_ = true;
+};
+
+}  // namespace polypart::pset

@@ -1,0 +1,102 @@
+#include "pset/set.h"
+
+#include "support/str.h"
+
+namespace polypart::pset {
+
+void Set::addPart(BasicSet bs) {
+  PP_ASSERT(bs.space() == space_);
+  if (bs.markedEmpty()) return;
+  parts_.push_back(std::move(bs));
+}
+
+Set Set::unionWith(const Set& o) const {
+  PP_ASSERT(space_ == o.space_);
+  Set out = *this;
+  out.parts_.insert(out.parts_.end(), o.parts_.begin(), o.parts_.end());
+  out.exact_ = exact_ && o.exact_;
+  return out;
+}
+
+Set Set::intersect(const Set& o) const {
+  PP_ASSERT(space_ == o.space_);
+  Set out(space_);
+  out.exact_ = exact_ && o.exact_;
+  for (const BasicSet& a : parts_)
+    for (const BasicSet& b : o.parts_) {
+      BasicSet c = a.intersect(b);
+      c.simplify();
+      if (!c.markedEmpty()) out.parts_.push_back(std::move(c));
+    }
+  return out;
+}
+
+Set Set::intersect(const BasicSet& bs) const {
+  Set out(space_);
+  out.exact_ = exact_;
+  for (const BasicSet& a : parts_) {
+    BasicSet c = a.intersect(bs);
+    c.simplify();
+    if (!c.markedEmpty()) out.parts_.push_back(std::move(c));
+  }
+  return out;
+}
+
+Set Set::projectOut(DimKind kind, std::size_t first, std::size_t count) const {
+  Set out;
+  out.exact_ = exact_;
+  bool spaceSet = false;
+  for (const BasicSet& part : parts_) {
+    Proj p = part.projectOut(kind, first, count);
+    if (!spaceSet) {
+      out.space_ = p.set.space();
+      spaceSet = true;
+    }
+    out.exact_ = out.exact_ && p.exact;
+    if (!p.set.markedEmpty()) out.parts_.push_back(std::move(p.set));
+  }
+  if (!spaceSet) {
+    // No disjuncts: still compute the reduced space from an empty part.
+    Proj p = BasicSet(space_).projectOut(kind, first, count);
+    out.space_ = p.set.space();
+  }
+  return out;
+}
+
+Tri Set::emptiness() const {
+  bool definite = true;
+  for (const BasicSet& part : parts_) {
+    switch (part.feasibility()) {
+      case BasicSet::Feas::NonEmpty: return Tri::No;
+      case BasicSet::Feas::Unknown: definite = false; break;
+      case BasicSet::Feas::Empty: break;
+    }
+  }
+  return definite ? Tri::Yes : Tri::Unknown;
+}
+
+bool Set::containsPoint(std::span<const i64> params, std::span<const i64> ins,
+                        std::span<const i64> outs) const {
+  for (const BasicSet& part : parts_)
+    if (part.containsPoint(params, ins, outs)) return true;
+  return false;
+}
+
+void Set::pruneEmptyParts() {
+  std::erase_if(parts_, [](const BasicSet& p) {
+    return p.markedEmpty() || p.feasibility() == BasicSet::Feas::Empty;
+  });
+}
+
+std::string Set::str() const {
+  if (parts_.empty()) {
+    std::string out;
+    if (space_.numParams() > 0) out += "[" + join(space_.paramNames(), ", ") + "] -> ";
+    return out + "{ }";
+  }
+  std::vector<std::string> parts;
+  for (const BasicSet& p : parts_) parts.push_back(p.str());
+  return join(parts, " union ");
+}
+
+}  // namespace polypart::pset

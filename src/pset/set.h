@@ -1,0 +1,62 @@
+#pragma once
+
+// A Set is a union of BasicSets over a common space (paper Section 2.4:
+// "unions of Z-Polyhedra").  Exactness is tracked through projections so
+// clients can distinguish precise results from sound over-approximations.
+
+#include <string>
+#include <vector>
+
+#include "pset/basic_set.h"
+
+namespace polypart::pset {
+
+enum class Tri { No, Yes, Unknown };
+
+class Set {
+ public:
+  Set() = default;
+  explicit Set(Space space) : space_(std::move(space)) {}
+
+  static Set empty(Space space) { return Set(std::move(space)); }
+  static Set universe(Space space) {
+    Set s(space);
+    s.parts_.emplace_back(std::move(space));
+    return s;
+  }
+
+  const Space& space() const { return space_; }
+  const std::vector<BasicSet>& parts() const { return parts_; }
+  bool exact() const { return exact_; }
+  void markInexact() { exact_ = false; }
+
+  void addPart(BasicSet bs);
+
+  /// Union (concatenation of disjuncts).
+  Set unionWith(const Set& o) const;
+
+  /// Pairwise intersection of disjuncts.
+  Set intersect(const Set& o) const;
+  Set intersect(const BasicSet& bs) const;
+
+  /// Projects the given dimensions out of every disjunct.
+  Set projectOut(DimKind kind, std::size_t first, std::size_t count) const;
+
+  /// Empty (definitely), NonEmpty (definitely over Z), or Unknown.
+  Tri emptiness() const;
+
+  bool containsPoint(std::span<const i64> params, std::span<const i64> ins,
+                     std::span<const i64> outs = {}) const;
+
+  /// Drops disjuncts whose infeasibility is certain.
+  void pruneEmptyParts();
+
+  std::string str() const;
+
+ private:
+  Space space_;
+  std::vector<BasicSet> parts_;
+  bool exact_ = true;
+};
+
+}  // namespace polypart::pset

@@ -1,0 +1,219 @@
+#include "rewrite/rewriter.h"
+
+#include <cctype>
+#include <map>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace polypart::rewrite {
+
+namespace {
+
+/// Identifier-for-identifier API substitutions (Section 8.4: replacements
+/// have identical prototypes).
+const std::map<std::string, std::string>& apiSubstitutions() {
+  static const std::map<std::string, std::string> subs = {
+      {"cudaMalloc", "gpartMalloc"},
+      {"cudaFree", "gpartFree"},
+      {"cudaMemcpy", "gpartMemcpy"},
+      {"cudaMemcpyAsync", "gpartMemcpyAsync"},
+      {"cudaGetDeviceCount", "gpartGetDeviceCount"},
+      {"cudaDeviceSynchronize", "gpartDeviceSynchronize"},
+      {"cudaMemcpyHostToDevice", "gpartMemcpyHostToDevice"},
+      {"cudaMemcpyDeviceToHost", "gpartMemcpyDeviceToHost"},
+      {"cudaMemcpyDeviceToDevice", "gpartMemcpyDeviceToDevice"},
+      {"cudaMemcpyHostToHost", "gpartMemcpyHostToHost"},
+      {"cudaSuccess", "gpartSuccess"},
+      {"cudaError_t", "gpartError"},
+  };
+  return subs;
+}
+
+/// Scanner over the source that understands comments, string and character
+/// literals, and identifiers; everything it does not need to understand is
+/// copied through verbatim.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& src) : src_(src) {}
+
+  bool atEnd() const { return pos_ >= src_.size(); }
+  std::size_t pos() const { return pos_; }
+  void seek(std::size_t p) { pos_ = p; }
+
+  /// Skips (returns) one lexical element starting at the cursor: a comment,
+  /// a literal, an identifier, or a single character.  Returns the source
+  /// text of the element.
+  std::string next() {
+    std::size_t start = pos_;
+    char c = src_[pos_];
+    if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+      while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+      pos_ += 2;
+      while (pos_ + 1 < src_.size() && !(src_[pos_] == '*' && src_[pos_ + 1] == '/'))
+        ++pos_;
+      pos_ = std::min(pos_ + 2, src_.size());
+    } else if (c == '"' || c == '\'') {
+      ++pos_;
+      while (pos_ < src_.size() && src_[pos_] != c) {
+        if (src_[pos_] == '\\') ++pos_;
+        ++pos_;
+      }
+      if (pos_ < src_.size()) ++pos_;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_'))
+        ++pos_;
+    } else {
+      ++pos_;
+    }
+    return src_.substr(start, pos_ - start);
+  }
+
+  static bool isIdentifier(const std::string& tok) {
+    return !tok.empty() &&
+           (std::isalpha(static_cast<unsigned char>(tok[0])) || tok[0] == '_');
+  }
+
+  /// Peeks past whitespace for a literal string match at the cursor.
+  bool lookingAt(const std::string& text) const {
+    std::size_t p = pos_;
+    while (p < src_.size() && std::isspace(static_cast<unsigned char>(src_[p]))) ++p;
+    return src_.compare(p, text.size(), text) == 0;
+  }
+
+  void skipWhitespace() {
+    while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[pos_])))
+      ++pos_;
+  }
+
+  /// Consumes a literal (after whitespace); returns false when absent.
+  bool consume(const std::string& text) {
+    skipWhitespace();
+    if (src_.compare(pos_, text.size(), text) != 0) return false;
+    pos_ += text.size();
+    return true;
+  }
+
+  /// Reads up to a top-level occurrence of one of `stops` (not inside
+  /// parentheses/brackets, comments, or literals).  The stop character is
+  /// not consumed.  Returns the collected text.
+  std::string readBalancedUntil(const std::string& stops) {
+    std::string out;
+    int depth = 0;
+    while (!atEnd()) {
+      char c = src_[pos_];
+      if (depth == 0 && stops.find(c) != std::string::npos) break;
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      out += next();
+    }
+    return out;
+  }
+
+ private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+/// Splits a top-level comma-separated argument list.
+std::vector<std::string> splitArgs(const std::string& text) {
+  std::vector<std::string> out;
+  Scanner s(text);
+  std::string cur;
+  while (!s.atEnd()) {
+    std::string piece = s.readBalancedUntil(",");
+    cur += piece;
+    if (!s.atEnd()) {
+      s.next();  // the comma
+      out.push_back(polypart::trim(cur));
+      cur.clear();
+    }
+  }
+  cur = polypart::trim(cur);
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string prologue(const std::string& modelPath) {
+  return
+      "// --- begin polypart prologue (inserted by the source rewriter) ---\n"
+      "#include \"gpart_runtime.h\"\n"
+      "// Application model produced by compiler pass 1 (kernel access maps,\n"
+      "// partitioning strategies); loaded by the runtime at startup.\n"
+      "GPART_REGISTER_MODEL(\"" + modelPath + "\");\n"
+      "// --- end polypart prologue ---\n\n";
+}
+
+}  // namespace
+
+std::string Rewriter::rewrite(const std::string& source, RewriteReport* report) const {
+  RewriteReport localReport;
+  std::string out = prologue(modelPath_);
+
+  Scanner s(source);
+  while (!s.atEnd()) {
+    std::size_t mark = s.pos();
+    std::string tok = s.next();
+    if (!Scanner::isIdentifier(tok)) {
+      out += tok;
+      continue;
+    }
+
+    // Substitution class 2: API identifiers.
+    auto it = apiSubstitutions().find(tok);
+    if (it != apiSubstitutions().end()) {
+      out += it->second;
+      ++localReport.apiSubstitutions;
+      continue;
+    }
+
+    // Substitution class 3: kernel launches `name<<<grid, block>>>(args);`.
+    if (s.lookingAt("<<<")) {
+      Scanner probe(source);
+      probe.seek(s.pos());
+      if (probe.consume("<<<")) {
+        std::string launchConfig = probe.readBalancedUntil(">");
+        if (probe.consume(">>>")) {
+          probe.skipWhitespace();
+          if (probe.consume("(")) {
+            std::string argText = probe.readBalancedUntil(")");
+            if (probe.consume(")")) {
+              probe.consume(";");
+              std::vector<std::string> cfg = splitArgs(launchConfig);
+              std::vector<std::string> args = splitArgs(argText);
+              if (cfg.size() >= 2) {
+                // Expanded launch: the primitive implements the Fig. 4
+                // sequence (synchronize reads / launch partitions / update
+                // trackers) against the partitioned kernel clones.
+                std::vector<std::string> wrapped;
+                wrapped.reserve(args.size());
+                for (const std::string& a : args)
+                  wrapped.push_back("gpartArgOf(" + a + ")");
+                out += "/* partitioned launch (paper Fig. 4) */ "
+                       "gpartLaunchKernel(\"" + tok + "\", " + cfg[0] + ", " +
+                       cfg[1] + ", {" + join(wrapped, ", ") + "});";
+                ++localReport.launchesRewritten;
+                localReport.kernelsLaunched.push_back(tok);
+                s.seek(probe.pos());
+                continue;
+              }
+            }
+          }
+        }
+      }
+      // Malformed launch syntax: fall through and copy verbatim.
+      s.seek(mark);
+      out += s.next();
+      continue;
+    }
+
+    out += tok;
+  }
+
+  if (report) *report = localReport;
+  return out;
+}
+
+}  // namespace polypart::rewrite

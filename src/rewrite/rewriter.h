@@ -1,0 +1,47 @@
+#pragma once
+
+// Source-to-source host code rewriter (paper Section 5).
+//
+// The paper transforms CUDA host code with text substitutions ("We decided
+// to use text substitutions ... This allows for a simple implementation at
+// the cost of not supporting all possible CUDA applications"); the original
+// used a lua preprocessor, this is the C++ equivalent with a small scanner
+// that is comment- and string-literal-aware.
+//
+// Three substitution classes are applied:
+//   1. a prologue inserted at the top of the file (runtime header include
+//      and the application-model reference),
+//   2. CUDA memory/device API calls and memcpy-kind constants redirected to
+//      the gpart replacements with identical prototypes (Section 8.4),
+//   3. kernel launches `k<<<grid, block>>>(args);` expanded into the
+//      partitioned-launch primitive, whose implementation performs the
+//      three loops of Fig. 4 (synchronize read sets, launch partitions,
+//      update trackers).
+
+#include <string>
+#include <vector>
+
+namespace polypart::rewrite {
+
+struct RewriteReport {
+  int apiSubstitutions = 0;
+  int launchesRewritten = 0;
+  std::vector<std::string> kernelsLaunched;
+};
+
+class Rewriter {
+ public:
+  /// `modelPath` is embedded into the prologue so the runtime can locate the
+  /// serialized application model of pass 1.
+  explicit Rewriter(std::string modelPath = "app.model.json")
+      : modelPath_(std::move(modelPath)) {}
+
+  /// Rewrites one CUDA host source file.  Unrecognized constructs pass
+  /// through untouched; comments and string literals are never altered.
+  std::string rewrite(const std::string& source, RewriteReport* report = nullptr) const;
+
+ private:
+  std::string modelPath_;
+};
+
+}  // namespace polypart::rewrite

@@ -1,0 +1,30 @@
+#pragma once
+
+// The header the source-to-source rewriter's prologue references
+// (`#include "gpart_runtime.h"`).  Rewritten host code compiles against the
+// CUDA-replacement surface and registers the pass-1 application model.
+
+#include "rt/cuda_api.h"
+
+/// Emitted by the rewriter prologue: records where pass 1 stored the
+/// serialized application model so the runtime can be constructed from it
+/// at startup (tool::CompiledApplication::makeRuntime does this for
+/// in-process use; standalone builds load the file).
+#define GPART_REGISTER_MODEL(path)                                     \
+  namespace {                                                          \
+  [[maybe_unused]] const char* gpart_registered_model_path__ = (path); \
+  }                                                                    \
+  static_assert(true, "")
+
+namespace polypart::rt {
+
+/// Loads a serialized application model (the pass-1 artifact) and builds a
+/// runtime for it over the given kernels.
+inline std::unique_ptr<Runtime> gpartLoadRuntime(const std::string& modelPath,
+                                                 const ir::Module& kernels,
+                                                 RuntimeConfig config) {
+  analysis::ApplicationModel model = analysis::ApplicationModel::loadFrom(modelPath);
+  return std::make_unique<Runtime>(config, std::move(model), kernels);
+}
+
+}  // namespace polypart::rt

@@ -1,0 +1,396 @@
+#include "rt/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <tuple>
+
+#include "support/error.h"
+
+namespace polypart::rt {
+
+using analysis::ArrayModel;
+using analysis::KernelModel;
+using analysis::PartitionStrategy;
+using codegen::Enumerator;
+using codegen::PartitionTuple;
+using ir::Dim3;
+using ir::GridPartition;
+using ir::LaunchConfig;
+
+namespace {
+
+/// Storage element size: buffers hold 8-byte elements (ir::Type::I64/F64).
+constexpr i64 kElemBytes = 8;
+
+double wallSeconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+Runtime::Runtime(RuntimeConfig config, analysis::ApplicationModel model,
+                 const ir::Module& kernels)
+    : config_(config), model_(std::move(model)) {
+  config_.machine.numDevices = config_.numGpus;
+  machine_ = std::make_unique<sim::Machine>(config_.machine, config_.mode);
+
+  for (const KernelModel& km : model_.kernels) {
+    ir::KernelPtr k = kernels.find(km.kernel);
+    PP_ASSERT_MSG(k != nullptr, "model references a kernel missing from the module");
+    KernelEntry ke;
+    ke.model = &km;
+    ke.partitioned = ir::partitionKernel(*k);
+    ke.enumerators = codegen::buildEnumerators(km);
+    for (Enumerator& e : ke.enumerators) e.coalesce = config_.coalesceEnumerators;
+    kernels_.emplace(km.kernel, std::move(ke));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+const Runtime::KernelEntry& Runtime::entry(const std::string& name) const {
+  auto it = kernels_.find(name);
+  PP_ASSERT_MSG(it != kernels_.end(), "launch of unknown kernel");
+  return it->second;
+}
+
+const ir::Kernel& Runtime::partitionedKernel(const std::string& name) const {
+  return *entry(name).partitioned;
+}
+
+VirtualBuffer* Runtime::malloc(i64 bytes) {
+  PP_ASSERT(bytes >= 0);
+  std::vector<sim::DevBuffer> instances;
+  instances.reserve(static_cast<std::size_t>(config_.numGpus));
+  for (int d = 0; d < config_.numGpus; ++d)
+    instances.push_back(machine_->alloc(d, bytes));
+  buffers_.push_back(
+      std::unique_ptr<VirtualBuffer>(new VirtualBuffer(bytes, std::move(instances))));
+  return buffers_.back().get();
+}
+
+void Runtime::free(VirtualBuffer* buf) {
+  for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
+    if (it->get() == buf) {
+      for (const sim::DevBuffer& b : buf->instances_) machine_->free(b);
+      buffers_.erase(it);
+      return;
+    }
+  }
+  PP_ASSERT_MSG(false, "free of unknown virtual buffer");
+}
+
+void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
+  PP_ASSERT(bytes >= 0);
+  switch (kind) {
+    case MemcpyKind::HostToHost:
+      machine_->chargeApiCall();
+      if (machine_->mode() == sim::ExecutionMode::Functional && dst && src)
+        std::memcpy(dst, src, static_cast<std::size_t>(bytes));
+      return;
+
+    case MemcpyKind::HostToDevice: {
+      // 1:n movement (Section 8.2): distribute in a predefined pattern; any
+      // mismatch with the kernels' read patterns is corrected by the
+      // dependency resolution before the next launch.
+      auto* vb = static_cast<VirtualBuffer*>(dst);
+      PP_ASSERT(bytes <= vb->bytes_);
+      const int g = config_.numGpus;
+      if (config_.h2dDistribution == H2DDistribution::Linear) {
+        const i64 elems = bytes / kElemBytes;
+        for (int d = 0; d < g; ++d) {
+          i64 lo = elems * d / g * kElemBytes;
+          i64 hi = d + 1 == g ? bytes : elems * (d + 1) / g * kElemBytes;
+          if (lo >= hi) continue;
+          machine_->copyHostToDevice(vb->instances_[static_cast<std::size_t>(d)], lo,
+                                     static_cast<const char*>(src) + lo, hi - lo);
+          vb->tracker_.update(lo, hi, d);
+        }
+      } else {
+        // Round-robin pages (ablation): fragments ownership across GPUs.
+        const i64 page = config_.h2dPageBytes;
+        i64 off = 0;
+        int d = 0;
+        while (off < bytes) {
+          i64 len = std::min(page, bytes - off);
+          machine_->copyHostToDevice(vb->instances_[static_cast<std::size_t>(d)], off,
+                                     static_cast<const char*>(src) + off, len);
+          vb->tracker_.update(off, off + len, d);
+          off += len;
+          d = (d + 1) % g;
+        }
+      }
+      machine_->synchronizeAll();
+      return;
+    }
+
+    case MemcpyKind::DeviceToHost: {
+      // n:1 movement: gather each segment from the GPU the tracker records
+      // as owning its most recent copy (Section 8.2).
+      auto* vb = static_cast<VirtualBuffer*>(const_cast<void*>(src));
+      PP_ASSERT(bytes <= vb->bytes_);
+      machine_->synchronizeAll();  // kernels producing the data must finish
+      vb->tracker_.query(0, bytes, [&](i64 b, i64 e, Owner owner) {
+        if (owner < 0) return;  // never written: leave host bytes untouched
+        machine_->copyDeviceToHost(
+            static_cast<char*>(dst) + b,
+            vb->instances_[static_cast<std::size_t>(owner)], b, e - b);
+      });
+      machine_->synchronizeAll();
+      return;
+    }
+
+    case MemcpyKind::DeviceToDevice:
+      // Duplicated device data has no equivalent in the partitioned model
+      // (Section 8.2: "currently not supported").
+      throw UnsupportedOperationError(
+          "device-to-device memcpy is not supported by the partitioned runtime");
+  }
+}
+
+void Runtime::deviceSynchronize() { machine_->synchronizeAll(); }
+
+double Runtime::elapsedSeconds() const { return machine_->completionTime(); }
+
+GridPartition Runtime::partitionFor(const KernelModel& model, const Dim3& grid,
+                                    int gpu) const {
+  const int g = config_.numGpus;
+  GridPartition p{{0, 0, 0}, grid};
+  auto chunk = [&](i64 extent, i64& lo, i64& hi) {
+    lo = extent * gpu / g;
+    hi = extent * (gpu + 1) / g;
+  };
+  switch (model.strategy) {
+    case PartitionStrategy::SplitX: chunk(grid.x, p.lo.x, p.hi.x); break;
+    case PartitionStrategy::SplitY: chunk(grid.y, p.lo.y, p.hi.y); break;
+    case PartitionStrategy::SplitZ: chunk(grid.z, p.lo.z, p.hi.z); break;
+  }
+  return p;
+}
+
+void Runtime::synchronizeReads(const KernelEntry& ke, const LaunchConfig& cfg,
+                               std::span<const LaunchArg> args,
+                               std::span<const i64> scalars) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
+    GridPartition gp = partitionFor(*ke.model, cfg.grid, gpu);
+    if (gp.blockCount() == 0) continue;
+    PartitionTuple tuple = PartitionTuple::fromBlocks(gp, cfg.block);
+
+    for (const Enumerator& e : ke.enumerators) {
+      if (e.isWrite()) continue;
+      VirtualBuffer* vb = args[e.argIndex()].buffer;
+      PP_ASSERT(vb != nullptr);
+      codegen::EnumInfo info;
+      i64 segments = 0;
+      e.enumerate(tuple, cfg, scalars, [&](i64 elemB, i64 elemE) {
+        vb->tracker_.querySharers(
+            elemB * kElemBytes, elemE * kElemBytes,
+            [&](i64 b, i64 en, Owner owner, u64 sharers) {
+              ++segments;
+              if (owner == gpu || owner < 0) return;  // up to date / undefined
+              if (config_.trackSharedCopies && gpu < 64 &&
+                  (sharers & (u64{1} << gpu)) != 0) {
+                ++stats_.sharedCopyHits;  // replica already valid here
+                return;
+              }
+              if (config_.enableTransfers) {
+                machine_->copyPeer(vb->instances_[static_cast<std::size_t>(gpu)], b,
+                                   vb->instances_[static_cast<std::size_t>(owner)],
+                                   b, en - b);
+                ++stats_.peerCopies;
+                if (config_.trackSharedCopies) sharerScratch_.emplace_back(b, en);
+              }
+            });
+        // Record the new replicas outside the query traversal (addSharer
+        // mutates the tracker).
+        for (const auto& [b, en] : sharerScratch_)
+          vb->tracker_.addSharer(b, en, gpu);
+        sharerScratch_.clear();
+      }, &info);
+      stats_.rangesResolved += info.ranges;
+      stats_.logicalRowsResolved += info.logicalRows;
+      stats_.trackerSegmentsVisited += segments;
+      double perRow = config_.resolutionCostPerRow +
+                      (config_.enableTransfers ? config_.transferIssueCostPerRow : 0);
+      machine_->advanceHost(config_.resolutionCostPerArray +
+                            perRow * static_cast<double>(info.logicalRows + segments));
+    }
+  }
+  stats_.resolutionWallSeconds += wallSeconds(t0);
+}
+
+void Runtime::updateTrackers(const KernelEntry& ke, const LaunchConfig& cfg,
+                             std::span<const LaunchArg> args,
+                             std::span<const i64> scalars) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
+    GridPartition gp = partitionFor(*ke.model, cfg.grid, gpu);
+    if (gp.blockCount() == 0) continue;
+    PartitionTuple tuple = PartitionTuple::fromBlocks(gp, cfg.block);
+
+    for (const Enumerator& e : ke.enumerators) {
+      if (!e.isWrite()) continue;
+      VirtualBuffer* vb = args[e.argIndex()].buffer;
+      PP_ASSERT(vb != nullptr);
+      codegen::EnumInfo info;
+      e.enumerate(tuple, cfg, scalars, [&](i64 elemB, i64 elemE) {
+        vb->tracker_.update(elemB * kElemBytes, elemE * kElemBytes, gpu);
+      }, &info);
+      stats_.rangesResolved += info.ranges;
+      stats_.logicalRowsResolved += info.logicalRows;
+      machine_->advanceHost(config_.resolutionCostPerArray +
+                            config_.resolutionCostPerRow *
+                                static_cast<double>(info.logicalRows));
+    }
+  }
+  stats_.resolutionWallSeconds += wallSeconds(t0);
+}
+
+void Runtime::launch(const std::string& kernelName, const Dim3& grid,
+                     const Dim3& block, std::span<const LaunchArg> args) {
+  const KernelEntry& ke = entry(kernelName);
+  const KernelModel& model = *ke.model;
+  PP_ASSERT_MSG(args.size() + 6 == ke.partitioned->numParams(),
+                "kernel argument count mismatch");
+  ++stats_.launches;
+
+  // Validate the model's launch assumptions (axes the kernel ignores).
+  const i64 gridAxes[3] = {grid.x, grid.y, grid.z};
+  const i64 blockAxes[3] = {block.x, block.y, block.z};
+  for (int a = 0; a < 3; ++a) {
+    if (model.requiresUnitGrid[static_cast<std::size_t>(a)] && gridAxes[a] != 1)
+      throw Error("kernel '" + kernelName + "' requires gridDim." +
+                  ir::axisName(static_cast<ir::Axis>(a)) + " == 1");
+    if (model.requiresUnitBlock[static_cast<std::size_t>(a)] && blockAxes[a] != 1)
+      throw Error("kernel '" + kernelName + "' requires blockDim." +
+                  ir::axisName(static_cast<ir::Axis>(a)) + " == 1");
+  }
+
+  LaunchConfig cfg{grid, block};
+
+  // Scalars for the enumerators: i64 scalar args in declaration order.
+  std::vector<i64> scalars;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const analysis::ParamInfo& p = model.params[i];
+    PP_ASSERT_MSG(p.isArray == (args[i].buffer != nullptr),
+                  "scalar/array launch argument mismatch");
+    if (!p.isArray && p.type == ir::Type::I64) scalars.push_back(args[i].scalar.i);
+  }
+
+  // (2) Synchronize all buffers the kernel reads (Fig. 4, first loop).  The
+  // producing kernels must have completed before their output can be copied,
+  // so the host first drains outstanding work, then issues the transfers,
+  // then barriers again (all_devs_synchronize in Fig. 4).
+  if (config_.enableDependencyResolution) {
+    machine_->synchronizeAll();
+    synchronizeReads(ke, cfg, args, scalars);
+    machine_->synchronizeAll();
+  }
+
+  // Arrays whose write patterns the static model could not capture are
+  // tracked by instrumented execution (paper Section 11: "using
+  // instrumentation to collect write patterns").
+  std::vector<std::size_t> instrumentedArgs;
+  for (const analysis::ArrayModel& a : model.arrays)
+    if (a.writeInstrumented) instrumentedArgs.push_back(a.argIndex);
+  if (!instrumentedArgs.empty() &&
+      machine_->mode() != sim::ExecutionMode::Functional)
+    throw UnsupportedOperationError(
+        "kernel '" + kernelName +
+        "' needs instrumented write tracking, which requires Functional "
+        "execution");
+
+  // Per instrumented array: (gpu, element range) for conflict detection.
+  std::map<std::size_t, std::vector<std::tuple<i64, i64, int>>> observedRanges;
+
+  // (3) Launch each partition on its GPU (Fig. 4, second loop).
+  for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
+    GridPartition gp = partitionFor(model, grid, gpu);
+    if (gp.blockCount() == 0) continue;
+    // Eq. 10: gridConf = partition.max - partition.min.
+    LaunchConfig partCfg{{gp.hi.x - gp.lo.x, gp.hi.y - gp.lo.y, gp.hi.z - gp.lo.z},
+                         block};
+    std::vector<sim::KernelArg> kargs;
+    kargs.reserve(args.size() + 6);
+    for (const LaunchArg& a : args) {
+      if (a.buffer)
+        kargs.push_back(sim::KernelArg::ofBuffer(
+            a.buffer->instances_[static_cast<std::size_t>(gpu)]));
+      else
+        kargs.push_back(sim::KernelArg{a.scalar, {}, false});
+    }
+    // Partition parameters in ir::kPartitionParamNames order:
+    // min.x, min.y, min.z, max.x, max.y, max.z.
+    for (i64 v : {gp.lo.x, gp.lo.y, gp.lo.z, gp.hi.x, gp.hi.y, gp.hi.z})
+      kargs.push_back(sim::KernelArg::ofInt(v));
+
+    if (instrumentedArgs.empty()) {
+      machine_->launchKernel(gpu, *ke.partitioned, partCfg, kargs);
+      continue;
+    }
+
+    // Instrumented launch: observe the writes of this partition, then fold
+    // them into the trackers as coalesced element ranges.
+    std::map<std::size_t, std::vector<i64>> writes;
+    ir::AccessObserver observer = [&](std::size_t arg, bool isWrite, i64 flat,
+                                      std::span<const i64, 12>) {
+      if (!isWrite) return;
+      if (std::find(instrumentedArgs.begin(), instrumentedArgs.end(), arg) !=
+          instrumentedArgs.end())
+        writes[arg].push_back(flat);
+    };
+    sim::LaunchOptions opts;
+    opts.observer = &observer;
+    opts.costMultiplier = config_.instrumentationSlowdown;
+    machine_->launchKernel(gpu, *ke.partitioned, partCfg, kargs, opts);
+
+    for (auto& [arg, flats] : writes) {
+      std::sort(flats.begin(), flats.end());
+      flats.erase(std::unique(flats.begin(), flats.end()), flats.end());
+      VirtualBuffer* vb = args[arg].buffer;
+      PP_ASSERT(vb != nullptr);
+      std::size_t i = 0;
+      while (i < flats.size()) {
+        std::size_t j = i;
+        while (j + 1 < flats.size() && flats[j + 1] == flats[j] + 1) ++j;
+        i64 begin = flats[i], end = flats[j] + 1;
+        vb->tracker_.update(begin * kElemBytes, end * kElemBytes, gpu);
+        observedRanges[arg].emplace_back(begin, end, gpu);
+        stats_.rangesResolved += 1;
+        i = j + 1;
+      }
+      machine_->advanceHost(config_.resolutionCostPerArray +
+                            config_.resolutionCostPerRow *
+                                static_cast<double>(flats.size()));
+    }
+  }
+
+  // Write-after-write detection across partitions: instrumentation gives the
+  // exact write sets, so overlapping ranges from different GPUs are the
+  // hazard the static analysis would have rejected (Section 4.1).
+  for (auto& [arg, ranges] : observedRanges) {
+    std::sort(ranges.begin(), ranges.end());
+    i64 frontierEnd = std::numeric_limits<i64>::min();
+    int frontierGpu = -1;
+    for (const auto& [b, e, g] : ranges) {
+      if (b < frontierEnd && g != frontierGpu)
+        throw Error("kernel '" + kernelName + "': instrumentation detected a "
+                    "write-after-write hazard between GPUs " +
+                    std::to_string(frontierGpu) + " and " + std::to_string(g));
+      if (e > frontierEnd) {
+        frontierEnd = e;
+        frontierGpu = g;
+      }
+    }
+  }
+
+  // (4) Update the trackers for all writes (Fig. 4, third loop); this runs
+  // concurrently with the asynchronous kernels (host-side only).
+  if (config_.enableDependencyResolution)
+    updateTrackers(ke, cfg, args, scalars);
+}
+
+}  // namespace polypart::rt

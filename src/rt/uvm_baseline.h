@@ -1,0 +1,101 @@
+#pragma once
+
+// Page-migration (shared-virtual-memory) baseline runtime.
+//
+// The paper's related work contrasts compiler-directed bulk transfers with
+// runtime page migration (Li & Hudak's SVM, NUMA page migration, CUDA
+// unified memory): "these concepts rely on page migration and perform all
+// tasks at execution time.  Instead, we exploit knowledge generated at
+// compile time to optimize data movements" (Section 10).
+//
+// UvmRuntime implements that comparator: buffers are backed by pages with a
+// single owner each; kernels launch immediately with no pre-synchronization,
+// and every access to a non-resident page triggers a demand fault that
+// migrates the page (read AND write — the classic migrate-on-touch policy
+// that thrashes on read-shared data, which is exactly where the paper's
+// bulk-transfer scheme wins).  The access footprints come from the same
+// kernel models, so both runtimes move data for identical access patterns.
+//
+// Timing-only: the baseline exists for the bench/baseline_uvm comparison.
+
+#include "analysis/model.h"
+#include "codegen/enumerator.h"
+#include "ir/transform.h"
+#include "sim/machine.h"
+
+namespace polypart::rt {
+
+struct UvmConfig {
+  int numGpus = 1;
+  sim::MachineSpec machine = sim::MachineSpec::k80Node(1);
+  i64 pageBytes = 64 << 10;        // CUDA UM granularity class
+  double faultLatency = 40e-6;     // GPU page-fault + driver handling
+  /// Faults are replayed in batches by the driver; the effective per-page
+  /// latency of a streak of misses is faultLatency / batchFactor.  Fault
+  /// servicing is single-threaded in the driver, so this cost serializes
+  /// across all devices (the well-known UM bottleneck).
+  double faultBatchFactor = 4.0;
+};
+
+struct UvmStats {
+  i64 launches = 0;
+  i64 pageFaults = 0;
+  i64 pagesMigrated = 0;
+  i64 bytesMigrated = 0;
+};
+
+class UvmBuffer {
+ public:
+  i64 bytes() const { return bytes_; }
+
+ private:
+  friend class UvmRuntime;
+  UvmBuffer(i64 bytes, i64 pageBytes, std::vector<sim::DevBuffer> instances)
+      : bytes_(bytes),
+        instances_(std::move(instances)),
+        pageOwner_(static_cast<std::size_t>((bytes + pageBytes - 1) / pageBytes),
+                   -1) {}
+  i64 bytes_;
+  std::vector<sim::DevBuffer> instances_;
+  std::vector<int> pageOwner_;  // -1: host/unpopulated
+};
+
+class UvmRuntime {
+ public:
+  UvmRuntime(UvmConfig config, analysis::ApplicationModel model,
+             const ir::Module& kernels);
+  ~UvmRuntime();
+
+  UvmBuffer* malloc(i64 bytes);
+  void free(UvmBuffer* buf);
+
+  /// Unified memory: host writes populate host-resident pages; no explicit
+  /// copies are modeled (first-touch faults pay for the movement).
+  void populate(UvmBuffer* buf, i64 bytes);
+
+  /// Launches the kernel UM-style: partitions run immediately; page faults
+  /// for non-resident reads/writes are charged against the owning engines.
+  void launch(const std::string& kernelName, const ir::Dim3& grid,
+              const ir::Dim3& block, std::span<UvmBuffer* const> arrayArgs,
+              std::span<const i64> scalarArgs);
+
+  void synchronize();
+  double elapsedSeconds() const;
+  const UvmStats& stats() const { return stats_; }
+
+ private:
+  struct KernelEntry {
+    const analysis::KernelModel* model = nullptr;
+    ir::KernelPtr partitioned;
+    std::vector<codegen::Enumerator> enumerators;
+  };
+
+  UvmConfig config_;
+  analysis::ApplicationModel model_;
+  std::unique_ptr<sim::Machine> machine_;
+  std::map<std::string, KernelEntry> kernels_;
+  std::vector<std::unique_ptr<UvmBuffer>> buffers_;
+  UvmStats stats_;
+};
+
+}  // namespace polypart::rt

@@ -1,0 +1,217 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.h"
+
+namespace polypart::sim {
+
+Machine::Machine(MachineSpec spec, ExecutionMode mode)
+    : spec_(spec), mode_(mode), devices_(static_cast<std::size_t>(spec.numDevices)) {
+  PP_ASSERT(spec.numDevices >= 1);
+}
+
+void Machine::advanceHost(double seconds) {
+  PP_ASSERT(seconds >= 0);
+  hostNow_ += seconds;
+}
+
+void Machine::chargeApiCall() {
+  hostNow_ += spec_.host.apiOverhead;
+  ++stats_.apiCalls;
+}
+
+double Machine::completionTime() const {
+  double t = std::max(hostNow_, fabricReady_);
+  for (const Device& d : devices_) {
+    t = std::max(t, d.computeReady);
+    t = std::max(t, d.copyInReady);
+    t = std::max(t, d.copyOutReady);
+  }
+  return t;
+}
+
+void Machine::synchronizeAll() {
+  chargeApiCall();
+  hostNow_ = completionTime();
+}
+
+Machine::Storage& Machine::storage(DevBuffer b) {
+  PP_ASSERT(b.valid() && b.device < spec_.numDevices);
+  Device& d = devices_[static_cast<std::size_t>(b.device)];
+  PP_ASSERT(b.id < d.buffers.size() && d.buffers[b.id].live);
+  return d.buffers[b.id];
+}
+
+const Machine::Storage& Machine::storage(DevBuffer b) const {
+  return const_cast<Machine*>(this)->storage(b);
+}
+
+DevBuffer Machine::alloc(int device, i64 bytes) {
+  PP_ASSERT(device >= 0 && device < spec_.numDevices && bytes >= 0);
+  chargeApiCall();
+  Device& d = devices_[static_cast<std::size_t>(device)];
+  Storage s;
+  s.bytes = bytes;
+  s.live = true;
+  if (mode_ == ExecutionMode::Functional)
+    s.data.assign(static_cast<std::size_t>((bytes + 7) / 8), 0.0);
+  // Reuse a dead slot when available.
+  for (std::size_t i = 0; i < d.buffers.size(); ++i) {
+    if (!d.buffers[i].live) {
+      d.buffers[i] = std::move(s);
+      return DevBuffer{device, i};
+    }
+  }
+  d.buffers.push_back(std::move(s));
+  return DevBuffer{device, d.buffers.size() - 1};
+}
+
+void Machine::free(DevBuffer b) {
+  chargeApiCall();
+  Storage& s = storage(b);
+  s.live = false;
+  s.data.clear();
+  s.data.shrink_to_fit();
+}
+
+i64 Machine::bufferBytes(DevBuffer b) const { return storage(b).bytes; }
+
+void* Machine::bufferData(DevBuffer b) {
+  PP_ASSERT_MSG(mode_ == ExecutionMode::Functional,
+                "buffer contents exist only in Functional mode");
+  return storage(b).data.data();
+}
+
+double Machine::busy(double& engineReady, double duration) {
+  double start = std::max(hostNow_, engineReady);
+  engineReady = start + duration;
+  stats_.transferBusySeconds += duration;
+  return start;
+}
+
+double Machine::reserveFabric(double earliestStart, double bytes) {
+  // The shared fabric caps aggregate transfer throughput: each transfer
+  // appends its byte time to a backlog that drains from the current host
+  // time onward.  A transfer may start no earlier than the backlog position,
+  // but a transfer that is late for other reasons (busy destination engine)
+  // does not block the fabric for others — only byte time accumulates.
+  double avail = std::max(fabricReady_, hostNow_);
+  fabricReady_ = avail + bytes / spec_.fabricBandwidth;
+  return std::max(earliestStart, avail);
+}
+
+double Machine::modeledBytes(i64 storageBytes) const {
+  // Functional storage is 8 bytes per element while the modeled workloads
+  // are single-precision; timing and byte counters use the modeled width.
+  return static_cast<double>(storageBytes) * (spec_.bytesPerElement / 8.0);
+}
+
+void Machine::copyHostToDevice(DevBuffer dst, i64 dstOff, const void* src, i64 bytes) {
+  chargeApiCall();
+  if (bytes <= 0) return;
+  Storage& s = storage(dst);
+  PP_ASSERT(dstOff >= 0 && dstOff + bytes <= s.bytes);
+  if (mode_ == ExecutionMode::Functional && src != nullptr)
+    std::memcpy(reinterpret_cast<char*>(s.data.data()) + dstOff, src,
+                static_cast<std::size_t>(bytes));
+  Device& d = devices_[static_cast<std::size_t>(dst.device)];
+  double mb = modeledBytes(bytes);
+  double start = reserveFabric(std::max(hostNow_, d.copyInReady), mb);
+  d.copyInReady = start + spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
+  stats_.transferBusySeconds += spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
+  ++stats_.transfers;
+  stats_.bytesHostToDevice += static_cast<i64>(mb);
+}
+
+void Machine::copyDeviceToHost(void* dst, DevBuffer src, i64 srcOff, i64 bytes) {
+  chargeApiCall();
+  if (bytes <= 0) return;
+  Storage& s = storage(src);
+  PP_ASSERT(srcOff >= 0 && srcOff + bytes <= s.bytes);
+  if (mode_ == ExecutionMode::Functional && dst != nullptr)
+    std::memcpy(dst, reinterpret_cast<const char*>(s.data.data()) + srcOff,
+                static_cast<std::size_t>(bytes));
+  Device& d = devices_[static_cast<std::size_t>(src.device)];
+  double mb = modeledBytes(bytes);
+  double start = reserveFabric(std::max(hostNow_, d.copyOutReady), mb);
+  d.copyOutReady = start + spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
+  stats_.transferBusySeconds += spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
+  ++stats_.transfers;
+  stats_.bytesDeviceToHost += static_cast<i64>(mb);
+}
+
+void Machine::copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff,
+                       i64 bytes) {
+  chargeApiCall();
+  if (bytes <= 0) return;
+  Storage& sd = storage(dst);
+  Storage& ss = storage(src);
+  PP_ASSERT(dstOff >= 0 && dstOff + bytes <= sd.bytes);
+  PP_ASSERT(srcOff >= 0 && srcOff + bytes <= ss.bytes);
+  if (mode_ == ExecutionMode::Functional)
+    std::memcpy(reinterpret_cast<char*>(sd.data.data()) + dstOff,
+                reinterpret_cast<const char*>(ss.data.data()) + srcOff,
+                static_cast<std::size_t>(bytes));
+  // A peer transfer is driven by the destination's DMA engine
+  // (cudaMemcpyPeerAsync semantics): the source's memory is read directly,
+  // its copy engine stays free.  Aggregate pressure is captured by the
+  // shared fabric.
+  Device& dDst = devices_[static_cast<std::size_t>(dst.device)];
+  double mb = modeledBytes(bytes);
+  double duration = spec_.peerLink.latency + mb / spec_.peerLink.bandwidth;
+  double start = std::max(hostNow_, dDst.copyInReady);
+  start = reserveFabric(start, mb);
+  dDst.copyInReady = start + duration;
+  stats_.transferBusySeconds += duration;
+  ++stats_.transfers;
+  stats_.bytesPeerToPeer += static_cast<i64>(mb);
+}
+
+void Machine::launchKernel(int device, const ir::Kernel& kernel,
+                           const ir::LaunchConfig& cfg,
+                           std::span<const KernelArg> args,
+                           const LaunchOptions& options) {
+  PP_ASSERT(device >= 0 && device < spec_.numDevices);
+  chargeApiCall();
+  ++stats_.kernelLaunches;
+
+  // Bind arguments for the interpreter / cost model.
+  std::vector<ir::ArgValue> bound;
+  bound.reserve(args.size());
+  for (const KernelArg& a : args) {
+    if (a.isBuffer) {
+      PP_ASSERT_MSG(a.buffer.device == device,
+                    "kernel argument buffer lives on a different device");
+      Storage& s = storage(a.buffer);
+      void* data = mode_ == ExecutionMode::Functional ? s.data.data() : nullptr;
+      bound.push_back(ir::ArgValue::ofBuffer(data, s.bytes / 8));
+    } else {
+      bound.push_back(ir::ArgValue{a.scalar, nullptr, 0});
+    }
+  }
+
+  // Timing: per-thread cost scaled by thread count, roofline-style.
+  ir::ThreadCost tc = ir::estimateThreadCost(kernel, cfg, bound);
+  double threads = static_cast<double>(cfg.grid.count()) *
+                   static_cast<double>(cfg.block.count());
+  double flopTime = tc.flops * threads / spec_.device.flops;
+  // Loads are divided by the kernel's declared on-chip reuse (tiling /
+  // cache hits); stores always reach DRAM.
+  double memTime = (tc.loads / kernel.loadReuse() + tc.stores) * threads *
+                   spec_.bytesPerElement / spec_.device.memBandwidth;
+  double duration =
+      spec_.device.launchLatency + options.costMultiplier * std::max(flopTime, memTime);
+
+  Device& d = devices_[static_cast<std::size_t>(device)];
+  double start = std::max(hostNow_, d.computeReady);
+  d.computeReady = start + duration;
+  stats_.kernelBusySeconds += duration;
+
+  if (mode_ == ExecutionMode::Functional)
+    ir::execute(kernel, cfg, bound,
+                options.observer ? *options.observer : ir::AccessObserver());
+}
+
+}  // namespace polypart::sim

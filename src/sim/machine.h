@@ -1,0 +1,141 @@
+#pragma once
+
+// The multi-GPU machine simulator.
+//
+// Functional state and timing are decoupled, the standard full-system
+// simulator design: operations execute eagerly in host issue order (so
+// results are exact), while completion times are computed against per-engine
+// availability — one compute engine and one copy engine per direction per
+// device, mirroring how CUDA overlaps kernels with DMA transfers.
+//
+// In TimingOnly mode no bytes move and kernels do not execute; durations
+// come from the static cost model (ir/cost.h).  Benches use TimingOnly to
+// run the paper's full problem sizes; correctness tests use Functional.
+
+#include <optional>
+#include <vector>
+
+#include "ir/cost.h"
+#include "ir/interp.h"
+#include "sim/spec.h"
+
+namespace polypart::sim {
+
+enum class ExecutionMode { Functional, TimingOnly };
+
+/// Handle to a device-memory allocation.
+struct DevBuffer {
+  int device = -1;
+  std::size_t id = static_cast<std::size_t>(-1);
+  bool valid() const { return device >= 0; }
+};
+
+/// Argument for a simulated kernel launch.
+struct KernelArg {
+  ir::Value scalar;
+  DevBuffer buffer;
+  bool isBuffer = false;
+
+  static KernelArg ofInt(i64 v) { return {ir::Value::ofInt(v), {}, false}; }
+  static KernelArg ofFloat(double v) { return {ir::Value::ofFloat(v), {}, false}; }
+  static KernelArg ofBuffer(DevBuffer b) { return {{}, b, true}; }
+};
+
+/// Options for one simulated kernel launch.
+struct LaunchOptions {
+  /// Invoked on every global access during Functional execution (used by
+  /// the instrumented-write fallback, paper Section 11 future work).
+  const ir::AccessObserver* observer = nullptr;
+  /// Scales the modeled kernel duration (instrumented kernels pay the
+  /// "significant runtime overhead" the paper attributes to dynamic
+  /// write-pattern collection).
+  double costMultiplier = 1.0;
+};
+
+/// Aggregate counters for the evaluation section.
+struct MachineStats {
+  i64 apiCalls = 0;
+  i64 kernelLaunches = 0;
+  i64 transfers = 0;
+  i64 bytesHostToDevice = 0;
+  i64 bytesDeviceToHost = 0;
+  i64 bytesPeerToPeer = 0;
+  double kernelBusySeconds = 0;    // summed across devices
+  double transferBusySeconds = 0;  // summed across engines
+};
+
+class Machine {
+ public:
+  Machine(MachineSpec spec, ExecutionMode mode);
+
+  const MachineSpec& spec() const { return spec_; }
+  ExecutionMode mode() const { return mode_; }
+  int deviceCount() const { return spec_.numDevices; }
+
+  // -- simulated clock -------------------------------------------------------
+  /// Current host time (seconds of simulated execution).
+  double now() const { return hostNow_; }
+  /// Adds host-side work (e.g. dependency-resolution cost) to the clock.
+  void advanceHost(double seconds);
+  /// Charges one driver API call of host overhead.
+  void chargeApiCall();
+  /// Blocks the host until all engines of all devices are idle
+  /// (cudaDeviceSynchronize semantics).
+  void synchronizeAll();
+  /// Completion time of all outstanding work.
+  double completionTime() const;
+
+  // -- memory ----------------------------------------------------------------
+  DevBuffer alloc(int device, i64 bytes);
+  void free(DevBuffer b);
+  i64 bufferBytes(DevBuffer b) const;
+  /// Raw storage pointer (Functional mode only).
+  void* bufferData(DevBuffer b);
+
+  /// Asynchronous copies; `bytes` counted against link bandwidth.  Offsets
+  /// are in bytes.  In Functional mode data moves immediately (issue order).
+  void copyHostToDevice(DevBuffer dst, i64 dstOff, const void* src, i64 bytes);
+  void copyDeviceToHost(void* dst, DevBuffer src, i64 srcOff, i64 bytes);
+  void copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff, i64 bytes);
+
+  // -- kernels ----------------------------------------------------------------
+  /// Launches `kernel` asynchronously on `device`.  Buffer args must live on
+  /// that device.  Timing uses the static cost model; Functional mode also
+  /// interprets the kernel against device storage.
+  void launchKernel(int device, const ir::Kernel& kernel,
+                    const ir::LaunchConfig& cfg, std::span<const KernelArg> args,
+                    const LaunchOptions& options = {});
+
+  const MachineStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+ private:
+  struct Storage {
+    i64 bytes = 0;
+    std::vector<double> data;  // allocated in Functional mode only
+    bool live = false;
+  };
+  struct Device {
+    double computeReady = 0;
+    double copyInReady = 0;
+    double copyOutReady = 0;
+    std::vector<Storage> buffers;
+  };
+
+  Storage& storage(DevBuffer b);
+  const Storage& storage(DevBuffer b) const;
+  double busy(double& engineReady, double duration);
+  double modeledBytes(i64 storageBytes) const;
+
+  /// Reserves fabric time for a transfer; returns the earliest start.
+  double reserveFabric(double earliestStart, double bytes);
+
+  MachineSpec spec_;
+  ExecutionMode mode_;
+  double hostNow_ = 0;
+  double fabricReady_ = 0;
+  std::vector<Device> devices_;
+  MachineStats stats_;
+};
+
+}  // namespace polypart::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+// Performance model of the simulated multi-GPU node.
+//
+// The paper evaluates on a Supermicro X10DRG with eight NVIDIA K80 boards
+// (16 GK210 GPUs) on PCIe (Section 9).  No such machine is available here,
+// so the simulator reproduces its first-order behaviour: per-GPU compute
+// and memory throughput, per-link bandwidth and latency, and host-side API
+// call overhead.  k80Node() carries the calibrated defaults; absolute times
+// are approximate by design — the reproduction targets speedup *shapes*,
+// not wall-clock equality (see EXPERIMENTS.md).
+
+#include "support/arith.h"
+
+namespace polypart::sim {
+
+struct DeviceSpec {
+  double flops = 1.2e12;         // sustained FLOP/s per GPU (GK210, fp32)
+  double memBandwidth = 160e9;   // sustained GB/s of device memory
+  double launchLatency = 8e-6;   // device-side launch latency (s)
+};
+
+struct LinkSpec {
+  double bandwidth = 10e9;  // B/s per direction (PCIe gen3 x16, effective)
+  double latency = 25e-6;   // per-transfer latency (s)
+};
+
+struct HostSpec {
+  double apiOverhead = 6e-6;  // host time consumed per driver API call (s)
+};
+
+struct MachineSpec {
+  int numDevices = 1;
+  DeviceSpec device;
+  LinkSpec hostLink{10e9, 20e-6};  // host <-> device
+  LinkSpec peerLink{8e9, 80e-6};   // device <-> device (two switch hops + P2P setup)
+  HostSpec host;
+  /// Aggregate bandwidth of the PCIe fabric shared by *all* transfers
+  /// (host links and peer links).  Models root-complex/QPI contention on
+  /// the paper's dual-socket 8x K80 node: individual links reach their own
+  /// bandwidth, but the sum across concurrent transfers cannot exceed this.
+  double fabricBandwidth = 15e9;
+
+  /// Bytes per modeled array element for the timing model.  The paper's
+  /// benchmarks are single-precision, so kernels move 4 bytes per element
+  /// even though functional storage uses 8-byte doubles.
+  double bytesPerElement = 4.0;
+
+  /// The paper's testbed: K80-class GPUs behind PCIe switches.
+  static MachineSpec k80Node(int gpus) {
+    MachineSpec s;
+    s.numDevices = gpus;
+    return s;
+  }
+};
+
+}  // namespace polypart::sim

@@ -1,0 +1,49 @@
+#include "support/arith.h"
+
+namespace polypart {
+
+namespace {
+
+i64 absChecked(i64 a) {
+  if (a == INT64_MIN) throw OverflowError("abs overflow");
+  return a < 0 ? -a : a;
+}
+
+}  // namespace
+
+i64 gcd(i64 a, i64 b) {
+  a = absChecked(a);
+  b = absChecked(b);
+  while (b != 0) {
+    i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+i64 lcm(i64 a, i64 b) {
+  if (a == 0 || b == 0) return 0;
+  i64 g = gcd(a, b);
+  return checkedMul(absChecked(a) / g, absChecked(b));
+}
+
+i64 floorDiv(i64 a, i64 b) {
+  PP_ASSERT_MSG(b != 0, "division by zero");
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+i64 ceilDiv(i64 a, i64 b) {
+  PP_ASSERT_MSG(b != 0, "division by zero");
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+
+i64 floorMod(i64 a, i64 b) { return checkedSub(a, checkedMul(floorDiv(a, b), b)); }
+
+}  // namespace polypart

@@ -1,0 +1,66 @@
+#pragma once
+
+// Error handling for the polypart library.
+//
+// Contract violations (programming errors) abort via PP_ASSERT.  Recoverable
+// conditions that depend on user input (unsupported kernels, malformed models,
+// inexact analyses) throw one of the exception types below so the toolchain
+// can reject an application and report why.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace polypart {
+
+/// Base class for all recoverable polypart errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The analysis could not produce a sound model for a kernel (non-affine
+/// accesses, non-injective writes, inexact projections of write maps, ...).
+class UnsupportedKernelError : public Error {
+ public:
+  explicit UnsupportedKernelError(const std::string& what) : Error(what) {}
+};
+
+/// A serialized application model could not be parsed.
+class ModelFormatError : public Error {
+ public:
+  explicit ModelFormatError(const std::string& what) : Error(what) {}
+};
+
+/// The runtime was asked to perform an operation the paper's system rejects
+/// (e.g. device-to-device memcpy, Section 8.2).
+class UnsupportedOperationError : public Error {
+ public:
+  explicit UnsupportedOperationError(const std::string& what) : Error(what) {}
+};
+
+/// Arithmetic left the representable range during polyhedral computations.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
+[[noreturn]] inline void assertFail(const char* cond, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "polypart assertion failed: %s (%s:%d)%s%s\n", cond,
+               file, line, msg ? ": " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace polypart
+
+#define PP_ASSERT(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) ::polypart::assertFail(#cond, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define PP_ASSERT_MSG(cond, msg)                                    \
+  do {                                                              \
+    if (!(cond)) ::polypart::assertFail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

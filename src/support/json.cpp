@@ -1,0 +1,333 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace polypart::json {
+
+Value& Object::operator[](const std::string& key) {
+  for (auto& [k, v] : entries_)
+    if (k == key) return v;
+  entries_.emplace_back(key, Value());
+  return entries_.back().second;
+}
+
+const Value* Object::find(const std::string& key) const {
+  for (const auto& [k, v] : entries_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value& Object::at(const std::string& key) const {
+  const Value* v = find(key);
+  if (!v) throw ModelFormatError("missing JSON key: " + key);
+  return *v;
+}
+
+bool Value::asBool() const {
+  if (!isBool()) throw ModelFormatError("JSON value is not a bool");
+  return std::get<bool>(storage_);
+}
+
+std::int64_t Value::asInt() const {
+  if (isInt()) return std::get<std::int64_t>(storage_);
+  throw ModelFormatError("JSON value is not an integer");
+}
+
+double Value::asDouble() const {
+  if (isDouble()) return std::get<double>(storage_);
+  if (isInt()) return static_cast<double>(std::get<std::int64_t>(storage_));
+  throw ModelFormatError("JSON value is not a number");
+}
+
+const std::string& Value::asString() const {
+  if (!isString()) throw ModelFormatError("JSON value is not a string");
+  return std::get<std::string>(storage_);
+}
+
+Array& Value::asArray() {
+  if (!isArray()) throw ModelFormatError("JSON value is not an array");
+  return *std::get<std::shared_ptr<Array>>(storage_);
+}
+
+const Array& Value::asArray() const {
+  if (!isArray()) throw ModelFormatError("JSON value is not an array");
+  return *std::get<std::shared_ptr<Array>>(storage_);
+}
+
+Object& Value::asObject() {
+  if (!isObject()) throw ModelFormatError("JSON value is not an object");
+  return *std::get<std::shared_ptr<Object>>(storage_);
+}
+
+const Object& Value::asObject() const {
+  if (!isObject()) throw ModelFormatError("JSON value is not an object");
+  return *std::get<std::shared_ptr<Object>>(storage_);
+}
+
+namespace {
+
+void escapeTo(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+struct Dumper {
+  int indent;
+  std::string out;
+
+  void newline(int depth) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+  }
+
+  void dump(const Value& v, int depth) {
+    if (v.isNull()) {
+      out += "null";
+    } else if (v.isBool()) {
+      out += v.asBool() ? "true" : "false";
+    } else if (v.isInt()) {
+      out += std::to_string(v.asInt());
+    } else if (v.isDouble()) {
+      double d = v.asDouble();
+      if (std::isfinite(d)) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+        out += buf;
+      } else {
+        out += "null";
+      }
+    } else if (v.isString()) {
+      escapeTo(out, v.asString());
+    } else if (v.isArray()) {
+      const Array& a = v.asArray();
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        dump(a[i], depth + 1);
+      }
+      if (!a.empty()) newline(depth);
+      out += ']';
+    } else {
+      const Object& o = v.asObject();
+      out += '{';
+      bool first = true;
+      for (const auto& [k, val] : o) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        escapeTo(out, k);
+        out += indent > 0 ? ": " : ":";
+        dump(val, depth + 1);
+      }
+      if (o.size() > 0) newline(depth);
+      out += '}';
+    }
+  }
+};
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ModelFormatError("JSON parse error at offset " + std::to_string(pos) +
+                           ": " + msg);
+  }
+
+  void skipWs() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  Value parseValue() {
+    skipWs();
+    char c = peek();
+    switch (c) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return Value(parseString());
+      case 't': literal("true"); return Value(true);
+      case 'f': literal("false"); return Value(false);
+      case 'n': literal("null"); return Value(nullptr);
+      default: return parseNumber();
+    }
+  }
+
+  void literal(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      if (pos >= text.size() || text[pos] != *p) fail("bad literal");
+      ++pos;
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string s;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos >= text.size()) fail("bad escape");
+        char e = text[pos++];
+        switch (e) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          case 'r': s += '\r'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit");
+            }
+            // Encode as UTF-8 (basic multilingual plane only).
+            if (code < 0x80) {
+              s += static_cast<char>(code);
+            } else if (code < 0x800) {
+              s += static_cast<char>(0xC0 | (code >> 6));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (code >> 12));
+              s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape character");
+        }
+      } else {
+        s += c;
+      }
+    }
+    return s;
+  }
+
+  Value parseNumber() {
+    std::size_t start = pos;
+    if (consume('-')) {}
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    bool isDouble = false;
+    if (consume('.')) {
+      isDouble = true;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      isDouble = true;
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos == start || (pos == start + 1 && text[start] == '-')) fail("bad number");
+    std::string tok = text.substr(start, pos - start);
+    if (!isDouble) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && p == tok.data() + tok.size()) return Value(v);
+    }
+    try {
+      return Value(std::stod(tok));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+
+  Value parseArray() {
+    expect('[');
+    Array a;
+    skipWs();
+    if (consume(']')) return Value(std::move(a));
+    while (true) {
+      a.push_back(parseValue());
+      skipWs();
+      if (consume(']')) break;
+      expect(',');
+    }
+    return Value(std::move(a));
+  }
+
+  Value parseObject() {
+    expect('{');
+    Object o;
+    skipWs();
+    if (consume('}')) return Value(std::move(o));
+    while (true) {
+      skipWs();
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      o[key] = parseValue();
+      skipWs();
+      if (consume('}')) break;
+      expect(',');
+    }
+    return Value(std::move(o));
+  }
+};
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  Dumper d{indent, {}};
+  d.dump(*this, 0);
+  return d.out;
+}
+
+Value Value::parse(const std::string& text) {
+  Parser p{text};
+  Value v = p.parseValue();
+  p.skipWs();
+  if (p.pos != text.size()) p.fail("trailing content");
+  return v;
+}
+
+}  // namespace polypart::json

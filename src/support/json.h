@@ -1,0 +1,94 @@
+#pragma once
+
+// Minimal JSON value, parser, and writer.
+//
+// The toolchain persists the polyhedral application model between the two
+// compiler passes (paper Section 4: "the application model is saved to
+// disk").  This module provides the serialization substrate.  It supports
+// the JSON subset the model needs: null, bool, 64-bit integers, doubles,
+// strings, arrays, objects (insertion-ordered).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "support/error.h"
+
+namespace polypart::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Object preserves insertion order so emitted models diff cleanly.
+class Object {
+ public:
+  Value& operator[](const std::string& key);
+  const Value* find(const std::string& key) const;
+  const Value& at(const std::string& key) const;
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  std::size_t size() const { return entries_.size(); }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+class Value {
+ public:
+  using Storage = std::variant<std::nullptr_t, bool, std::int64_t, double,
+                               std::string, std::shared_ptr<Array>,
+                               std::shared_ptr<Object>>;
+
+  Value() : storage_(nullptr) {}
+  Value(std::nullptr_t) : storage_(nullptr) {}
+  Value(bool b) : storage_(b) {}
+  Value(int v) : storage_(static_cast<std::int64_t>(v)) {}
+  Value(std::int64_t v) : storage_(v) {}
+  Value(std::uint64_t v) : storage_(static_cast<std::int64_t>(v)) {}
+  Value(double v) : storage_(v) {}
+  Value(const char* s) : storage_(std::string(s)) {}
+  Value(std::string s) : storage_(std::move(s)) {}
+  Value(Array a) : storage_(std::make_shared<Array>(std::move(a))) {}
+  Value(Object o) : storage_(std::make_shared<Object>(std::move(o))) {}
+
+  static Value array() { return Value(Array{}); }
+  static Value object() { return Value(Object{}); }
+
+  bool isNull() const { return std::holds_alternative<std::nullptr_t>(storage_); }
+  bool isBool() const { return std::holds_alternative<bool>(storage_); }
+  bool isInt() const { return std::holds_alternative<std::int64_t>(storage_); }
+  bool isDouble() const { return std::holds_alternative<double>(storage_); }
+  bool isString() const { return std::holds_alternative<std::string>(storage_); }
+  bool isArray() const { return std::holds_alternative<std::shared_ptr<Array>>(storage_); }
+  bool isObject() const { return std::holds_alternative<std::shared_ptr<Object>>(storage_); }
+
+  bool asBool() const;
+  std::int64_t asInt() const;
+  double asDouble() const;
+  const std::string& asString() const;
+  Array& asArray();
+  const Array& asArray() const;
+  Object& asObject();
+  const Object& asObject() const;
+
+  /// Object member access; throws ModelFormatError when missing.
+  const Value& at(const std::string& key) const { return asObject().at(key); }
+  Value& operator[](const std::string& key) { return asObject()[key]; }
+  void push(Value v) { asArray().push_back(std::move(v)); }
+
+  /// Serializes to a compact string, or indented when `indent > 0`.
+  std::string dump(int indent = 0) const;
+
+  /// Parses a JSON document; throws ModelFormatError on malformed input.
+  static Value parse(const std::string& text);
+
+ private:
+  Storage storage_;
+};
+
+}  // namespace polypart::json

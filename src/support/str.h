@@ -1,0 +1,28 @@
+#pragma once
+
+// Small string helpers shared across modules.
+
+#include <string>
+#include <vector>
+
+namespace polypart {
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True when `s` starts with `prefix`.
+bool startsWith(const std::string& s, const std::string& prefix);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Reads a whole file; throws Error when the file cannot be opened.
+std::string readFile(const std::string& path);
+
+/// Writes `content` to `path`; throws Error on failure.
+void writeFile(const std::string& path, const std::string& content);
+
+}  // namespace polypart

@@ -1,0 +1,262 @@
+// Tests for enumerator generation (paper Section 6): range extraction for
+// grid partitions, the full-row coalescing optimization, the C emission of
+// the Section 6.2 interface, and trace-based exactness properties.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "apps/kernels.h"
+#include "codegen/enumerator.h"
+#include "ir/interp.h"
+#include "ir/transform.h"
+
+namespace polypart::codegen {
+namespace {
+
+using analysis::KernelModel;
+using ir::ArgValue;
+using ir::Dim3;
+using ir::GridPartition;
+using ir::KernelPtr;
+using ir::LaunchConfig;
+
+std::vector<std::pair<i64, i64>> collect(const Enumerator& e,
+                                         const PartitionTuple& part,
+                                         const LaunchConfig& cfg,
+                                         std::span<const i64> scalars) {
+  std::vector<std::pair<i64, i64>> out;
+  e.enumerate(part, cfg, scalars, [&](i64 b, i64 en) { out.emplace_back(b, en); });
+  return out;
+}
+
+const Enumerator& find(const std::vector<Enumerator>& es, std::size_t arg,
+                       bool write) {
+  for (const Enumerator& e : es)
+    if (e.argIndex() == arg && e.isWrite() == write) return e;
+  throw Error("enumerator not found");
+}
+
+TEST(Codegen, SaxpyReadRanges) {
+  KernelModel m = analysis::analyzeKernel(*apps::buildSaxpy());
+  auto es = buildEnumerators(m);
+  const Enumerator& xRead = find(es, 2, false);
+  // n = 1000, blocks of 128, grid 8; partition blocks [2, 5).
+  LaunchConfig cfg{{8, 1, 1}, {128, 1, 1}};
+  PartitionTuple part = PartitionTuple::fromBlocks(
+      GridPartition{{2, 0, 0}, {5, 1, 1}}, cfg.block);
+  i64 scalars[] = {1000};
+  auto ranges = collect(xRead, part, cfg, scalars);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, 256);
+  EXPECT_EQ(ranges[0].second, 640);
+
+  // The last partition is clipped by the n < gridDim*blockDim guard.
+  PartitionTuple tail = PartitionTuple::fromBlocks(
+      GridPartition{{5, 0, 0}, {8, 1, 1}}, cfg.block);
+  auto tailRanges = collect(xRead, tail, cfg, scalars);
+  ASSERT_EQ(tailRanges.size(), 1u);
+  EXPECT_EQ(tailRanges[0].first, 640);
+  EXPECT_EQ(tailRanges[0].second, 1000);
+}
+
+TEST(Codegen, HotspotHaloAndCoalescing) {
+  KernelModel m = analysis::analyzeKernel(*apps::buildHotspot());
+  auto es = buildEnumerators(m);
+  const Enumerator& tinRead = find(es, 3, false);
+  const Enumerator& toutWrite = find(es, 5, true);
+  EXPECT_TRUE(toutWrite.exact());
+
+  // n = 64, 8x8 blocks, 8x8 grid.  Partition: block rows [2, 4) => thread
+  // rows [16, 32); the read set must include halo rows 15 and 32.
+  LaunchConfig cfg{{8, 8, 1}, {8, 8, 1}};
+  PartitionTuple part = PartitionTuple::fromBlocks(
+      GridPartition{{0, 2, 0}, {8, 4, 1}}, cfg.block);
+  i64 scalars[] = {64};
+
+  auto ranges = collect(tinRead, part, cfg, scalars);
+  // Full-row coalescing: rows 15..32 of a 64-wide array are one range.
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, 15 * 64);
+  EXPECT_EQ(ranges[0].second, 33 * 64);
+
+  auto writes = collect(toutWrite, part, cfg, scalars);
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0].first, 16 * 64);
+  EXPECT_EQ(writes[0].second, 32 * 64);
+}
+
+TEST(Codegen, CoalescingMatchesPerRowEnumeration) {
+  KernelModel m = analysis::analyzeKernel(*apps::buildHotspot());
+  auto es = buildEnumerators(m);
+  LaunchConfig cfg{{4, 4, 1}, {8, 8, 1}};
+  i64 scalars[] = {30};  // grid overhang: 32 threads cover 30 cells
+  for (i64 lo = 0; lo < 4; ++lo) {
+    for (i64 hi = lo + 1; hi <= 4; ++hi) {
+      PartitionTuple part = PartitionTuple::fromBlocks(
+          GridPartition{{0, lo, 0}, {4, hi, 1}}, cfg.block);
+      for (const Enumerator& e : es) {
+        Enumerator perRow = e;
+        perRow.coalesce = false;
+        std::set<i64> a, b;
+        e.enumerate(part, cfg, scalars, [&](i64 x, i64 y) {
+          for (i64 v = x; v < y; ++v) a.insert(v);
+        });
+        perRow.enumerate(part, cfg, scalars, [&](i64 x, i64 y) {
+          for (i64 v = x; v < y; ++v) b.insert(v);
+        });
+        if (e.isWrite()) {
+          // Writes must be identical: coalescing may not change the set.
+          EXPECT_EQ(a, b) << e.name() << " partition [" << lo << "," << hi << ")";
+        } else {
+          // The read hull may add elements but never lose any.
+          for (i64 v : b)
+            EXPECT_TRUE(a.count(v))
+                << e.name() << " lost element " << v << " with coalescing";
+        }
+      }
+    }
+  }
+}
+
+TEST(Codegen, MatmulBReadIsFullMatrix) {
+  KernelModel m = analysis::analyzeKernel(*apps::buildMatmul());
+  auto es = buildEnumerators(m);
+  const Enumerator& bRead = find(es, 2, false);
+  LaunchConfig cfg{{4, 4, 1}, {4, 4, 1}};
+  i64 scalars[] = {16};
+  // Any row partition reads all of B (column-wise access, Section 9.1).
+  PartitionTuple part = PartitionTuple::fromBlocks(
+      GridPartition{{0, 1, 0}, {4, 2, 1}}, cfg.block);
+  auto ranges = collect(bRead, part, cfg, scalars);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, 0);
+  EXPECT_EQ(ranges[0].second, 16 * 16);
+  // A only needs the partition's rows.
+  const Enumerator& aRead = find(es, 1, false);
+  auto aRanges = collect(aRead, part, cfg, scalars);
+  ASSERT_EQ(aRanges.size(), 1u);
+  EXPECT_EQ(aRanges[0].first, 4 * 16);
+  EXPECT_EQ(aRanges[0].second, 8 * 16);
+}
+
+/// Property: for every benchmark kernel and several partitions, the write
+/// enumerator's ranges equal exactly the flat indices the partitioned kernel
+/// writes, and the read enumerator's ranges cover all reads.
+TEST(Codegen, RangesMatchPartitionedExecutionTrace) {
+  struct Case {
+    KernelPtr kernel;
+    LaunchConfig cfg;
+    std::vector<i64> scalarValues;  // i64 scalars in declaration order
+  };
+  std::vector<Case> cases;
+  cases.push_back({apps::buildSaxpy(), {{6, 1, 1}, {16, 1, 1}}, {90}});
+  cases.push_back({apps::buildHotspot(), {{3, 3, 1}, {4, 4, 1}}, {11}});
+  cases.push_back({apps::buildMatmul(), {{3, 3, 1}, {4, 4, 1}}, {10}});
+  cases.push_back({apps::buildNBodyForces(), {{4, 1, 1}, {4, 1, 1}}, {14}});
+
+  for (const Case& c : cases) {
+    KernelModel model = analysis::analyzeKernel(*c.kernel);
+    auto es = buildEnumerators(model);
+    ir::KernelPtr part = ir::partitionKernel(*c.kernel);
+    analysis::PartitionStrategy strat = model.strategy;
+
+    // Split the grid along the strategy axis into two partitions.
+    Dim3 g = c.cfg.grid;
+    i64 extent = strat == analysis::PartitionStrategy::SplitY ? g.y : g.x;
+    i64 mid = extent / 2;
+    for (int piece = 0; piece < 2; ++piece) {
+      GridPartition gp{{0, 0, 0}, {g.x, g.y, g.z}};
+      if (strat == analysis::PartitionStrategy::SplitY) {
+        gp.lo.y = piece == 0 ? 0 : mid;
+        gp.hi.y = piece == 0 ? mid : g.y;
+      } else {
+        gp.lo.x = piece == 0 ? 0 : mid;
+        gp.hi.x = piece == 0 ? mid : g.x;
+      }
+
+      // Allocate argument buffers large enough for each array.
+      std::vector<std::vector<double>> storage;
+      std::vector<ArgValue> args;
+      std::size_t scalarIdx = 0;
+      i64 n = c.scalarValues[0];
+      for (const ir::Param& p : c.kernel->params()) {
+        if (p.isArray) {
+          std::size_t elems = static_cast<std::size_t>(
+              p.shape.size() == 2 ? n * n : n);
+          storage.emplace_back(elems, 1.0);
+          args.push_back(ArgValue::ofBuffer(storage.back().data(),
+                                            static_cast<i64>(elems)));
+        } else if (p.type == ir::Type::I64) {
+          args.push_back(ArgValue::ofInt(c.scalarValues[scalarIdx++]));
+        } else {
+          args.push_back(ArgValue::ofFloat(0.25));
+        }
+      }
+      // Partition arguments: min x,y,z then max x,y,z (Section 7).
+      std::vector<ArgValue> partArgs = args;
+      partArgs.push_back(ArgValue::ofInt(gp.lo.x));
+      partArgs.push_back(ArgValue::ofInt(gp.lo.y));
+      partArgs.push_back(ArgValue::ofInt(gp.lo.z));
+      partArgs.push_back(ArgValue::ofInt(gp.hi.x));
+      partArgs.push_back(ArgValue::ofInt(gp.hi.y));
+      partArgs.push_back(ArgValue::ofInt(gp.hi.z));
+
+      std::map<std::size_t, std::set<i64>> readsSeen, writesSeen;
+      ir::AccessObserver obs = [&](std::size_t arg, bool isWrite, i64 flat,
+                                   std::span<const i64, 12>) {
+        (isWrite ? writesSeen : readsSeen)[arg].insert(flat);
+      };
+      LaunchConfig partCfg{{gp.hi.x - gp.lo.x, gp.hi.y - gp.lo.y, gp.hi.z - gp.lo.z},
+                           c.cfg.block};
+      ir::execute(*part, partCfg, partArgs, obs);
+
+      PartitionTuple tuple = PartitionTuple::fromBlocks(gp, c.cfg.block);
+      for (const Enumerator& e : es) {
+        std::set<i64> enumerated;
+        e.enumerate(tuple, c.cfg, c.scalarValues, [&](i64 b, i64 en) {
+          for (i64 v = b; v < en; ++v) enumerated.insert(v);
+        });
+        if (e.isWrite()) {
+          EXPECT_EQ(enumerated, writesSeen[e.argIndex()])
+              << e.name() << " piece " << piece << " of kernel "
+              << c.kernel->name();
+        } else {
+          const std::set<i64>& seen = readsSeen[e.argIndex()];
+          for (i64 v : seen)
+            EXPECT_TRUE(enumerated.count(v))
+                << e.name() << " missing read of element " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Codegen, EmitCHasPaperInterface) {
+  KernelModel m = analysis::analyzeKernel(*apps::buildHotspot());
+  auto es = buildEnumerators(m);
+  const Enumerator& tinRead = find(es, 3, false);
+  std::string src = tinRead.emitC();
+  EXPECT_NE(src.find("void hotspot_arg3_read(const int64_t* partition"), std::string::npos);
+  EXPECT_NE(src.find("polypart_range_cb cb"), std::string::npos);
+  EXPECT_NE(src.find("boyLo"), std::string::npos);
+  // Write enumerators follow the same naming rule.
+  const Enumerator& toutWrite = find(es, 5, true);
+  EXPECT_EQ(toutWrite.name(), "hotspot_arg5_write");
+}
+
+TEST(Codegen, CountElementsMatchesRanges) {
+  KernelModel m = analysis::analyzeKernel(*apps::buildSaxpy());
+  auto es = buildEnumerators(m);
+  const Enumerator& yWrite = find(es, 3, true);
+  LaunchConfig cfg{{8, 1, 1}, {64, 1, 1}};
+  i64 scalars[] = {500};
+  PartitionTuple all = PartitionTuple::fromBlocks(
+      GridPartition{{0, 0, 0}, {8, 1, 1}}, cfg.block);
+  EXPECT_EQ(yWrite.countElements(all, cfg, scalars), 500);
+}
+
+}  // namespace
+}  // namespace polypart::codegen

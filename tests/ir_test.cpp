@@ -1,0 +1,194 @@
+// Unit tests for the kernel IR: builder, verifier, interpreter, cost model,
+// and the partitioning transformation (paper Section 7).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/cost.h"
+#include "ir/interp.h"
+#include "ir/transform.h"
+#include "ir/verify.h"
+
+namespace polypart::ir {
+namespace {
+
+KernelPtr makeSaxpy() {
+  KernelBuilder b("saxpy");
+  auto n = b.scalar("n", Type::I64);
+  auto a = b.scalar("a", Type::F64);
+  auto x = b.array("x", Type::F64);
+  auto y = b.array("y", Type::F64);
+  auto i = b.let("i", b.globalId(Axis::X));
+  b.iff(lt(i, n), [&] { b.store(y, i, a * b.load(x, i) + b.load(y, i)); });
+  return b.build();
+}
+
+TEST(IrBuilder, SaxpyStructure) {
+  KernelPtr k = makeSaxpy();
+  EXPECT_EQ(k->name(), "saxpy");
+  EXPECT_EQ(k->numParams(), 4u);
+  EXPECT_EQ(k->arrayParamIndices(), (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(k->scalarParamIndices(), (std::vector<std::size_t>{0, 1}));
+  std::string src = k->str();
+  EXPECT_NE(src.find("__global__ void saxpy"), std::string::npos);
+  EXPECT_NE(src.find("threadIdx.x"), std::string::npos);
+}
+
+TEST(IrInterp, SaxpyComputesCorrectly) {
+  KernelPtr k = makeSaxpy();
+  const i64 n = 1000;
+  std::vector<double> x(n), y(n), expect(n);
+  for (i64 i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = static_cast<double>(i);
+    y[static_cast<std::size_t>(i)] = 2.0 * static_cast<double>(i);
+    expect[static_cast<std::size_t>(i)] = 3.0 * static_cast<double>(i) +
+                                          2.0 * static_cast<double>(i);
+  }
+  ArgValue args[] = {
+      ArgValue::ofInt(n), ArgValue::ofFloat(3.0),
+      ArgValue::ofBuffer(x.data(), n), ArgValue::ofBuffer(y.data(), n)};
+  // Grid overhang: 4 blocks of 256 threads cover 1024 > 1000 threads.
+  execute(*k, LaunchConfig{{4, 1, 1}, {256, 1, 1}}, args);
+  EXPECT_EQ(y, expect);
+}
+
+TEST(IrInterp, OutOfBoundsThrows) {
+  KernelBuilder b("oob");
+  auto x = b.array("x", Type::F64);
+  b.store(x, b.globalId(Axis::X) + iconst(100), fconst(1.0));
+  KernelPtr k = b.build();
+  std::vector<double> buf(10);
+  ArgValue args[] = {ArgValue::ofBuffer(buf.data(), 10)};
+  EXPECT_THROW(execute(*k, LaunchConfig{{1, 1, 1}, {1, 1, 1}}, args), Error);
+}
+
+TEST(IrInterp, SequentialLoopAndAccumulator) {
+  // sum[i] = sum of m[i*cols .. i*cols+cols)
+  KernelBuilder b("rowsum");
+  auto cols = b.scalar("cols", Type::I64);
+  auto m = b.array("m", Type::F64);
+  auto sum = b.array("sum", Type::F64);
+  auto i = b.let("i", b.globalId(Axis::X));
+  auto acc = b.let("acc", fconst(0.0));
+  b.forLoop("j", iconst(0), cols, [&](ExprPtr j) {
+    b.assign(acc, acc + b.load(m, i * cols + j));
+  });
+  b.store(sum, i, acc);
+  KernelPtr k = b.build();
+
+  const i64 rows = 8, ncols = 5;
+  std::vector<double> mat(static_cast<std::size_t>(rows * ncols));
+  std::iota(mat.begin(), mat.end(), 0.0);
+  std::vector<double> out(static_cast<std::size_t>(rows), -1.0);
+  ArgValue args[] = {ArgValue::ofInt(ncols), ArgValue::ofBuffer(mat.data(), rows * ncols),
+                     ArgValue::ofBuffer(out.data(), rows)};
+  execute(*k, LaunchConfig{{2, 1, 1}, {4, 1, 1}}, args);
+  for (i64 r = 0; r < rows; ++r) {
+    double want = 0;
+    for (i64 c = 0; c < ncols; ++c) want += static_cast<double>(r * ncols + c);
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(r)], want);
+  }
+}
+
+TEST(IrVerify, RejectsUndefinedLocal) {
+  KernelBuilder b("bad");
+  auto x = b.array("x", Type::F64);
+  b.store(x, Expr::local("ghost", Type::I64), fconst(0.0));
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(IrVerify, RejectsTypeMismatchedStore) {
+  KernelBuilder b("bad2");
+  auto x = b.array("x", Type::F64);
+  b.store(x, iconst(0), iconst(1));  // storing i64 into f64 array
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(IrVerify, RejectsDuplicateParams) {
+  KernelBuilder b("bad3");
+  b.scalar("n", Type::I64);
+  auto x = b.array("n", Type::F64);
+  b.store(x, iconst(0), fconst(0.0));
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(IrTransform, PartitionAppendsParamsAndRewrites) {
+  KernelPtr k = makeSaxpy();
+  KernelPtr p = partitionKernel(*k);
+  EXPECT_EQ(p->name(), "saxpy__part");
+  ASSERT_EQ(p->numParams(), 10u);
+  EXPECT_EQ(p->param(4).name, "__part_min_x");
+  EXPECT_EQ(p->param(9).name, "__part_max_z");
+  std::string src = p->str();
+  // blockIdx.x must now appear offset by the partition minimum.
+  EXPECT_NE(src.find("arg4 + blockIdx.x"), std::string::npos);
+}
+
+TEST(IrTransform, PartitionedHalvesEqualWhole) {
+  KernelPtr k = makeSaxpy();
+  KernelPtr part = partitionKernel(*k);
+  const i64 n = 2048;
+  auto runFull = [&] {
+    std::vector<double> x(n), y(n);
+    for (i64 i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = static_cast<double>(i) * 0.5;
+      y[static_cast<std::size_t>(i)] = static_cast<double>(i);
+    }
+    ArgValue args[] = {ArgValue::ofInt(n), ArgValue::ofFloat(1.5),
+                       ArgValue::ofBuffer(x.data(), n), ArgValue::ofBuffer(y.data(), n)};
+    execute(*k, LaunchConfig{{8, 1, 1}, {256, 1, 1}}, args);
+    return y;
+  };
+  auto runParts = [&] {
+    std::vector<double> x(n), y(n);
+    for (i64 i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = static_cast<double>(i) * 0.5;
+      y[static_cast<std::size_t>(i)] = static_cast<double>(i);
+    }
+    // Two partitions of the 8-block grid: [0,3) and [3,8).
+    for (auto [lo, hi] : {std::pair<i64, i64>{0, 3}, {3, 8}}) {
+      ArgValue args[] = {ArgValue::ofInt(n), ArgValue::ofFloat(1.5),
+                         ArgValue::ofBuffer(x.data(), n), ArgValue::ofBuffer(y.data(), n),
+                         // min x,y,z then max x,y,z (Eq. 10 grid config).
+                         ArgValue::ofInt(lo), ArgValue::ofInt(0), ArgValue::ofInt(0),
+                         ArgValue::ofInt(8), ArgValue::ofInt(1), ArgValue::ofInt(1)};
+      execute(*part, LaunchConfig{{hi - lo, 1, 1}, {256, 1, 1}}, args);
+    }
+    return y;
+  };
+  EXPECT_EQ(runFull(), runParts());
+}
+
+TEST(IrCost, SaxpyCounts) {
+  KernelPtr k = makeSaxpy();
+  ArgValue args[] = {ArgValue::ofInt(1 << 20), ArgValue::ofFloat(2.0),
+                     ArgValue::ofBuffer(reinterpret_cast<void*>(8), 1 << 20),
+                     ArgValue::ofBuffer(reinterpret_cast<void*>(8), 1 << 20)};
+  ThreadCost c = estimateThreadCost(*k, LaunchConfig{{4096, 1, 1}, {256, 1, 1}}, args);
+  EXPECT_DOUBLE_EQ(c.loads, 2);
+  EXPECT_DOUBLE_EQ(c.stores, 1);
+  EXPECT_DOUBLE_EQ(c.flops, 2);  // one multiply, one add
+}
+
+TEST(IrCost, LoopTripCountsScaleCost) {
+  KernelBuilder b("loopy");
+  auto n = b.scalar("n", Type::I64);
+  auto x = b.array("x", Type::F64);
+  auto acc = b.let("acc", fconst(0.0));
+  b.forLoop("j", iconst(0), n, [&](ExprPtr j) {
+    b.assign(acc, acc + b.load(x, j));
+  });
+  b.store(x, iconst(0), acc);
+  KernelPtr k = b.build();
+  ArgValue args[] = {ArgValue::ofInt(100),
+                     ArgValue::ofBuffer(reinterpret_cast<void*>(8), 100)};
+  ThreadCost c = estimateThreadCost(*k, LaunchConfig{{1, 1, 1}, {1, 1, 1}}, args);
+  EXPECT_DOUBLE_EQ(c.loads, 100);
+  EXPECT_DOUBLE_EQ(c.flops, 100);
+}
+
+}  // namespace
+}  // namespace polypart::ir

@@ -1,0 +1,145 @@
+// Tests for the polynomial abstract domain of the access analysis:
+// arithmetic, the blockOff substitution (paper Eq. 6), and delinearization.
+
+#include <gtest/gtest.h>
+
+#include "analysis/poly.h"
+
+namespace polypart::analysis {
+namespace {
+
+PVar tidX() { return {PVar::Kind::Tid, 0}; }
+PVar bidX() { return {PVar::Kind::Bid, 0}; }
+PVar bidY() { return {PVar::Kind::Bid, 1}; }
+PVar bdimX() { return {PVar::Kind::Param, 0}; }  // params 0..2 are blockDim
+PVar bdimY() { return {PVar::Kind::Param, 1}; }
+PVar boffX() { return {PVar::Kind::Boff, 0}; }
+PVar paramN() { return {PVar::Kind::Param, 6}; }
+
+TEST(Poly, ArithmeticBasics) {
+  Poly a = Poly::constant(3) + Poly::var(tidX()) * Poly::constant(2);
+  Poly b = Poly::var(tidX()) * Poly::constant(-2);
+  Poly sum = a + b;
+  EXPECT_EQ(sum.asConstant(), std::optional<i64>(3));
+  EXPECT_TRUE((a - a).isZero());
+  EXPECT_EQ((Poly::constant(0)).asConstant(), std::optional<i64>(0));
+  EXPECT_FALSE(a.asConstant().has_value());
+}
+
+TEST(Poly, ProductsAreSortedMonomials) {
+  Poly p = Poly::var(bidX()) * Poly::var(bdimX());
+  Poly q = Poly::var(bdimX()) * Poly::var(bidX());
+  EXPECT_EQ((p - q).isZero(), true);  // canonical monomial ordering
+}
+
+TEST(Poly, BlockOffSubstitution) {
+  // tid + bid*bdim -> tid + boff (Eq. 6).
+  Poly globalId = Poly::var(tidX()) + Poly::var(bidX()) * Poly::var(bdimX());
+  Poly subst = globalId.substituteBlockOffsets();
+  Poly expect = Poly::var(tidX()) + Poly::var(boffX());
+  EXPECT_TRUE((subst - expect).isZero());
+  EXPECT_TRUE(subst.isAffine());
+}
+
+TEST(Poly, BlockOffSubstitutionIsPerAxis) {
+  // bid.x * bdim.y is NOT a blockOff: axes must match.
+  Poly cross = Poly::var(bidX()) * Poly::var(bdimY());
+  EXPECT_TRUE((cross.substituteBlockOffsets() - cross).isZero());
+  EXPECT_FALSE(cross.isAffine());
+  // bid.y * bdim.y is.
+  Poly straight = Poly::var(bidY()) * Poly::var(bdimY());
+  Poly sub = straight.substituteBlockOffsets();
+  EXPECT_TRUE(sub.isAffine());
+}
+
+TEST(Poly, NestedBlockOffInsideProduct) {
+  // (bid*bdim) * N -> boff * N: still one substitution inside a larger
+  // monomial (which stays non-affine: dim * param).
+  Poly p = Poly::var(bidX()) * Poly::var(bdimX()) * Poly::var(paramN());
+  Poly sub = p.substituteBlockOffsets();
+  Poly expect = Poly::var(boffX()) * Poly::var(paramN());
+  EXPECT_TRUE((sub - expect).isZero());
+  EXPECT_FALSE(sub.isAffine());
+}
+
+TEST(Poly, DelinearizeRowMajor2D) {
+  // flat = (tid + boff) * N + tid2 against shape [N, N].
+  Poly row = Poly::var(tidX()) + Poly::var(boffX());
+  Poly col = Poly::var({PVar::Kind::Tid, 1});
+  Poly flat = row * Poly::var(paramN()) + col;
+  auto subs = delinearize(flat, {Poly::var(paramN()), Poly::var(paramN())});
+  ASSERT_TRUE(subs.has_value());
+  ASSERT_EQ(subs->size(), 2u);
+  EXPECT_TRUE(((*subs)[0] - row).isZero());
+  EXPECT_TRUE(((*subs)[1] - col).isZero());
+}
+
+TEST(Poly, DelinearizeConstantInnerDim) {
+  // Array-of-struct layout: flat = i*4 + k with shape [N, 4].
+  Poly i = Poly::var(tidX());
+  Poly k = Poly::var({PVar::Kind::Loop, 0});
+  Poly flat = i * Poly::constant(4) + k;
+  auto subs = delinearize(flat, {Poly::var(paramN()), Poly::constant(4)});
+  ASSERT_TRUE(subs.has_value());
+  EXPECT_TRUE(((*subs)[0] - i).isZero());
+  EXPECT_TRUE(((*subs)[1] - k).isZero());
+}
+
+TEST(Poly, Delinearize3D) {
+  // flat = ((z*N)+y)*M + x with shape [K, N, M] where N, M are params.
+  PVar n = paramN();
+  PVar m = {PVar::Kind::Param, 7};
+  Poly z = Poly::var({PVar::Kind::Tid, 2});
+  Poly y = Poly::var({PVar::Kind::Tid, 1});
+  Poly x = Poly::var(tidX());
+  Poly flat = (z * Poly::var(n) + y) * Poly::var(m) + x;
+  auto subs = delinearize(flat, {Poly::var({PVar::Kind::Param, 8}), Poly::var(n),
+                                 Poly::var(m)});
+  ASSERT_TRUE(subs.has_value());
+  ASSERT_EQ(subs->size(), 3u);
+  EXPECT_TRUE(((*subs)[0] - z).isZero());
+  EXPECT_TRUE(((*subs)[1] - y).isZero());
+  EXPECT_TRUE(((*subs)[2] - x).isZero());
+}
+
+TEST(Poly, DelinearizeFailsOnNonAffineResidue) {
+  // flat = tid * tid cannot be a row-major index of any declared shape.
+  Poly flat = Poly::var(tidX()) * Poly::var(tidX());
+  auto subs = delinearize(flat, {Poly::var(paramN()), Poly::var(paramN())});
+  EXPECT_FALSE(subs.has_value());
+  // And a 1-D "shape" check: non-affine stays non-affine.
+  auto flat1d = delinearize(flat, {Poly::var(paramN())});
+  EXPECT_FALSE(flat1d.has_value());
+}
+
+TEST(Poly, DelinearizeOneDimensionalPassThrough) {
+  Poly flat = Poly::var(tidX()) + Poly::var(boffX());
+  auto subs = delinearize(flat, {Poly::var(paramN())});
+  ASSERT_TRUE(subs.has_value());
+  ASSERT_EQ(subs->size(), 1u);
+  EXPECT_TRUE(((*subs)[0] - flat).isZero());
+}
+
+TEST(Poly, DivideByMonomial) {
+  // 6*N*tid + 3*tid + N -> divide by N: quotient 6*tid + 1? No: the N term
+  // has coefficient 1 divisible by 3? Divide by (N, coef 3):
+  Poly p = Poly::var(paramN()) * Poly::var(tidX()) * Poly::constant(6) +
+           Poly::var(tidX()) * Poly::constant(3) + Poly::var(paramN());
+  auto dv = p.divideByMonomial({paramN()}, 3);
+  // 6*N*tid is divisible by 3*N -> quotient 2*tid; N alone has coef 1, not
+  // divisible by 3 -> remainder keeps it; 3*tid lacks the N factor.
+  Poly expectQ = Poly::var(tidX()) * Poly::constant(2);
+  Poly expectR = Poly::var(tidX()) * Poly::constant(3) + Poly::var(paramN());
+  EXPECT_TRUE((dv.quotient - expectQ).isZero());
+  EXPECT_TRUE((dv.remainder - expectR).isZero());
+}
+
+TEST(Poly, StrIsReadable) {
+  Poly p = Poly::var(tidX()) * Poly::constant(2) + Poly::constant(5);
+  std::string s = p.str();
+  EXPECT_NE(s.find("2*tx"), std::string::npos);
+  EXPECT_NE(s.find("5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace polypart::analysis

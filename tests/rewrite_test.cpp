@@ -1,0 +1,118 @@
+// Tests for the source-to-source host code rewriter (paper Section 5).
+
+#include <gtest/gtest.h>
+
+#include "rewrite/rewriter.h"
+
+namespace polypart::rewrite {
+namespace {
+
+TEST(Rewrite, InsertsPrologue) {
+  Rewriter rw("hotspot.model.json");
+  std::string out = rw.rewrite("int main() { return 0; }");
+  EXPECT_NE(out.find("#include \"gpart_runtime.h\""), std::string::npos);
+  EXPECT_NE(out.find("GPART_REGISTER_MODEL(\"hotspot.model.json\")"), std::string::npos);
+  EXPECT_NE(out.find("int main() { return 0; }"), std::string::npos);
+}
+
+TEST(Rewrite, SubstitutesMemoryApi) {
+  Rewriter rw;
+  RewriteReport report;
+  std::string src = R"(
+    float* d_a;
+    cudaMalloc(&d_a, n * sizeof(float));
+    cudaMemcpy(d_a, h_a, n * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpyAsync(h_a, d_a, n * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaDeviceSynchronize();
+    cudaFree(d_a);
+  )";
+  std::string out = rw.rewrite(src, &report);
+  EXPECT_NE(out.find("gpartMalloc(&d_a, n * sizeof(float))"), std::string::npos);
+  EXPECT_NE(out.find("gpartMemcpy(d_a, h_a"), std::string::npos);
+  EXPECT_NE(out.find("gpartMemcpyHostToDevice"), std::string::npos);
+  EXPECT_NE(out.find("gpartMemcpyAsync(h_a, d_a"), std::string::npos);
+  EXPECT_NE(out.find("gpartDeviceSynchronize()"), std::string::npos);
+  EXPECT_NE(out.find("gpartFree(d_a)"), std::string::npos);
+  EXPECT_EQ(out.find("cudaMalloc"), std::string::npos);
+  EXPECT_EQ(report.apiSubstitutions, 7);
+}
+
+TEST(Rewrite, RewritesKernelLaunch) {
+  Rewriter rw;
+  RewriteReport report;
+  std::string out = rw.rewrite("hotspot<<<grid, block>>>(n, k, dt, tin, power, tout);",
+                               &report);
+  EXPECT_NE(out.find("gpartLaunchKernel(\"hotspot\", grid, block, "
+                     "{gpartArgOf(n), gpartArgOf(k), gpartArgOf(dt), "
+                     "gpartArgOf(tin), gpartArgOf(power), gpartArgOf(tout)});"),
+            std::string::npos);
+  EXPECT_EQ(report.launchesRewritten, 1);
+  ASSERT_EQ(report.kernelsLaunched.size(), 1u);
+  EXPECT_EQ(report.kernelsLaunched[0], "hotspot");
+}
+
+TEST(Rewrite, LaunchWithNestedParensAndCalls) {
+  Rewriter rw;
+  std::string out = rw.rewrite(
+      "matmul<<<dim3(gx, gy), dim3(16, 16)>>>(n, a + off(1), b, c);");
+  EXPECT_NE(out.find("gpartLaunchKernel(\"matmul\", dim3(gx, gy), dim3(16, 16), "
+                     "{gpartArgOf(n), gpartArgOf(a + off(1)), gpartArgOf(b), "
+                     "gpartArgOf(c)});"),
+            std::string::npos);
+}
+
+TEST(Rewrite, LeavesCommentsAndStringsAlone) {
+  Rewriter rw;
+  std::string src = R"(
+    // cudaMalloc in a comment stays put
+    /* k<<<g, b>>>(x); also in a comment */
+    const char* s = "cudaMemcpy inside a string";
+    printf("%s", s);
+  )";
+  std::string out = rw.rewrite(src);
+  EXPECT_NE(out.find("// cudaMalloc in a comment stays put"), std::string::npos);
+  EXPECT_NE(out.find("/* k<<<g, b>>>(x); also in a comment */"), std::string::npos);
+  EXPECT_NE(out.find("\"cudaMemcpy inside a string\""), std::string::npos);
+}
+
+TEST(Rewrite, UntouchedIdentifiersPassThrough) {
+  Rewriter rw;
+  std::string src = "int cudaMallocCount = 0; mycudaMemcpy();";
+  std::string out = rw.rewrite(src);
+  // Longest-identifier tokenization: names merely containing API names are
+  // not rewritten.
+  EXPECT_NE(out.find("int cudaMallocCount = 0;"), std::string::npos);
+  EXPECT_NE(out.find("mycudaMemcpy();"), std::string::npos);
+}
+
+TEST(Rewrite, FullApplicationEndToEnd) {
+  Rewriter rw("app.model.json");
+  RewriteReport report;
+  std::string src = R"(
+#include <cstdio>
+#include <cuda_runtime.h>
+
+int main() {
+  int n = 1 << 20;
+  float *x, *y;
+  cudaMalloc(&x, n * sizeof(float));
+  cudaMalloc(&y, n * sizeof(float));
+  cudaMemcpy(x, hx, n * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(y, hy, n * sizeof(float), cudaMemcpyHostToDevice);
+  saxpy<<<(n + 255) / 256, 256>>>(n, 2.0f, x, y);
+  cudaDeviceSynchronize();
+  cudaMemcpy(hy, y, n * sizeof(float), cudaMemcpyDeviceToHost);
+  cudaFree(x);
+  cudaFree(y);
+  return 0;
+}
+)";
+  std::string out = rw.rewrite(src, &report);
+  EXPECT_EQ(report.launchesRewritten, 1);
+  EXPECT_EQ(report.apiSubstitutions, 11);
+  EXPECT_NE(out.find("gpartLaunchKernel(\"saxpy\", (n + 255) / 256, 256, "), std::string::npos);
+  EXPECT_EQ(out.find("<<<"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace polypart::rewrite

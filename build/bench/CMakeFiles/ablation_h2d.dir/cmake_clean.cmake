@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_h2d.dir/ablation_h2d.cpp.o"
+  "CMakeFiles/ablation_h2d.dir/ablation_h2d.cpp.o.d"
+  "ablation_h2d"
+  "ablation_h2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_h2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shared_copies.dir/ablation_shared_copies.cpp.o"
+  "CMakeFiles/ablation_shared_copies.dir/ablation_shared_copies.cpp.o.d"
+  "ablation_shared_copies"
+  "ablation_shared_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

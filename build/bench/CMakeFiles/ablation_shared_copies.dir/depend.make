@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_shared_copies.
+# This may be replaced when dependencies are built.

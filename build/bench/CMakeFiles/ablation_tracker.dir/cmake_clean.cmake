@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tracker.dir/ablation_tracker.cpp.o"
+  "CMakeFiles/ablation_tracker.dir/ablation_tracker.cpp.o.d"
+  "ablation_tracker"
+  "ablation_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

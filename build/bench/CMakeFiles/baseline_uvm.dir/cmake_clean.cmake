@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_uvm.dir/baseline_uvm.cpp.o"
+  "CMakeFiles/baseline_uvm.dir/baseline_uvm.cpp.o.d"
+  "baseline_uvm"
+  "baseline_uvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_uvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_polyhedral.dir/micro_polyhedral.cpp.o"
+  "CMakeFiles/micro_polyhedral.dir/micro_polyhedral.cpp.o.d"
+  "micro_polyhedral"
+  "micro_polyhedral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_polyhedral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

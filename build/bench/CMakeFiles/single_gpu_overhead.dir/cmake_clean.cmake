@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_gpu_overhead.dir/single_gpu_overhead.cpp.o"
+  "CMakeFiles/single_gpu_overhead.dir/single_gpu_overhead.cpp.o.d"
+  "single_gpu_overhead"
+  "single_gpu_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_gpu_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

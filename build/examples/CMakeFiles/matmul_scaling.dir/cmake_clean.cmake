@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_scaling.dir/matmul_scaling.cpp.o"
+  "CMakeFiles/matmul_scaling.dir/matmul_scaling.cpp.o.d"
+  "matmul_scaling"
+  "matmul_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polypartc.dir/polypartc.cpp.o"
+  "CMakeFiles/polypartc.dir/polypartc.cpp.o.d"
+  "polypartc"
+  "polypartc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polypartc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

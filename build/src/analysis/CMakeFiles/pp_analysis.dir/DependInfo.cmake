@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/extract.cpp" "src/analysis/CMakeFiles/pp_analysis.dir/extract.cpp.o" "gcc" "src/analysis/CMakeFiles/pp_analysis.dir/extract.cpp.o.d"
+  "/root/repo/src/analysis/model.cpp" "src/analysis/CMakeFiles/pp_analysis.dir/model.cpp.o" "gcc" "src/analysis/CMakeFiles/pp_analysis.dir/model.cpp.o.d"
+  "/root/repo/src/analysis/poly.cpp" "src/analysis/CMakeFiles/pp_analysis.dir/poly.cpp.o" "gcc" "src/analysis/CMakeFiles/pp_analysis.dir/poly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/pset/CMakeFiles/pp_pset.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

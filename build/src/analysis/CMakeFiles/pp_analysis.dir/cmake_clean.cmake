@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_analysis.dir/extract.cpp.o"
+  "CMakeFiles/pp_analysis.dir/extract.cpp.o.d"
+  "CMakeFiles/pp_analysis.dir/model.cpp.o"
+  "CMakeFiles/pp_analysis.dir/model.cpp.o.d"
+  "CMakeFiles/pp_analysis.dir/poly.cpp.o"
+  "CMakeFiles/pp_analysis.dir/poly.cpp.o.d"
+  "libpp_analysis.a"
+  "libpp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

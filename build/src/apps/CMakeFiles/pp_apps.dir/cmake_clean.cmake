@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_apps.dir/drivers.cpp.o"
+  "CMakeFiles/pp_apps.dir/drivers.cpp.o.d"
+  "CMakeFiles/pp_apps.dir/kernels.cpp.o"
+  "CMakeFiles/pp_apps.dir/kernels.cpp.o.d"
+  "CMakeFiles/pp_apps.dir/reference.cpp.o"
+  "CMakeFiles/pp_apps.dir/reference.cpp.o.d"
+  "libpp_apps.a"
+  "libpp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_codegen.dir/enumerator.cpp.o"
+  "CMakeFiles/pp_codegen.dir/enumerator.cpp.o.d"
+  "libpp_codegen.a"
+  "libpp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/pp_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/pp_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/cost.cpp" "src/ir/CMakeFiles/pp_ir.dir/cost.cpp.o" "gcc" "src/ir/CMakeFiles/pp_ir.dir/cost.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/ir/CMakeFiles/pp_ir.dir/expr.cpp.o" "gcc" "src/ir/CMakeFiles/pp_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/ir/interp.cpp" "src/ir/CMakeFiles/pp_ir.dir/interp.cpp.o" "gcc" "src/ir/CMakeFiles/pp_ir.dir/interp.cpp.o.d"
+  "/root/repo/src/ir/optimize.cpp" "src/ir/CMakeFiles/pp_ir.dir/optimize.cpp.o" "gcc" "src/ir/CMakeFiles/pp_ir.dir/optimize.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/ir/CMakeFiles/pp_ir.dir/stmt.cpp.o" "gcc" "src/ir/CMakeFiles/pp_ir.dir/stmt.cpp.o.d"
+  "/root/repo/src/ir/transform.cpp" "src/ir/CMakeFiles/pp_ir.dir/transform.cpp.o" "gcc" "src/ir/CMakeFiles/pp_ir.dir/transform.cpp.o.d"
+  "/root/repo/src/ir/verify.cpp" "src/ir/CMakeFiles/pp_ir.dir/verify.cpp.o" "gcc" "src/ir/CMakeFiles/pp_ir.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_ir.dir/builder.cpp.o"
+  "CMakeFiles/pp_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/cost.cpp.o"
+  "CMakeFiles/pp_ir.dir/cost.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/expr.cpp.o"
+  "CMakeFiles/pp_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/interp.cpp.o"
+  "CMakeFiles/pp_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/optimize.cpp.o"
+  "CMakeFiles/pp_ir.dir/optimize.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/stmt.cpp.o"
+  "CMakeFiles/pp_ir.dir/stmt.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/transform.cpp.o"
+  "CMakeFiles/pp_ir.dir/transform.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/verify.cpp.o"
+  "CMakeFiles/pp_ir.dir/verify.cpp.o.d"
+  "libpp_ir.a"
+  "libpp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pset/ast.cpp" "src/pset/CMakeFiles/pp_pset.dir/ast.cpp.o" "gcc" "src/pset/CMakeFiles/pp_pset.dir/ast.cpp.o.d"
+  "/root/repo/src/pset/basic_set.cpp" "src/pset/CMakeFiles/pp_pset.dir/basic_set.cpp.o" "gcc" "src/pset/CMakeFiles/pp_pset.dir/basic_set.cpp.o.d"
+  "/root/repo/src/pset/fm.cpp" "src/pset/CMakeFiles/pp_pset.dir/fm.cpp.o" "gcc" "src/pset/CMakeFiles/pp_pset.dir/fm.cpp.o.d"
+  "/root/repo/src/pset/map.cpp" "src/pset/CMakeFiles/pp_pset.dir/map.cpp.o" "gcc" "src/pset/CMakeFiles/pp_pset.dir/map.cpp.o.d"
+  "/root/repo/src/pset/set.cpp" "src/pset/CMakeFiles/pp_pset.dir/set.cpp.o" "gcc" "src/pset/CMakeFiles/pp_pset.dir/set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_pset.dir/ast.cpp.o"
+  "CMakeFiles/pp_pset.dir/ast.cpp.o.d"
+  "CMakeFiles/pp_pset.dir/basic_set.cpp.o"
+  "CMakeFiles/pp_pset.dir/basic_set.cpp.o.d"
+  "CMakeFiles/pp_pset.dir/fm.cpp.o"
+  "CMakeFiles/pp_pset.dir/fm.cpp.o.d"
+  "CMakeFiles/pp_pset.dir/map.cpp.o"
+  "CMakeFiles/pp_pset.dir/map.cpp.o.d"
+  "CMakeFiles/pp_pset.dir/set.cpp.o"
+  "CMakeFiles/pp_pset.dir/set.cpp.o.d"
+  "libpp_pset.a"
+  "libpp_pset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_pset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_rewrite.dir/rewriter.cpp.o"
+  "CMakeFiles/pp_rewrite.dir/rewriter.cpp.o.d"
+  "libpp_rewrite.a"
+  "libpp_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_rt.dir/cuda_api.cpp.o"
+  "CMakeFiles/pp_rt.dir/cuda_api.cpp.o.d"
+  "CMakeFiles/pp_rt.dir/runtime.cpp.o"
+  "CMakeFiles/pp_rt.dir/runtime.cpp.o.d"
+  "CMakeFiles/pp_rt.dir/uvm_baseline.cpp.o"
+  "CMakeFiles/pp_rt.dir/uvm_baseline.cpp.o.d"
+  "libpp_rt.a"
+  "libpp_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

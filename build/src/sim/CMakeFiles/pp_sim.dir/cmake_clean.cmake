@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_sim.dir/machine.cpp.o"
+  "CMakeFiles/pp_sim.dir/machine.cpp.o.d"
+  "libpp_sim.a"
+  "libpp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

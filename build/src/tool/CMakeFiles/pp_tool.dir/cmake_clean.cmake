@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_tool.dir/compiler.cpp.o"
+  "CMakeFiles/pp_tool.dir/compiler.cpp.o.d"
+  "libpp_tool.a"
+  "libpp_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

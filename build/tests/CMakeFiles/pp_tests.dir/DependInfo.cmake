@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_more_test.cpp" "tests/CMakeFiles/pp_tests.dir/analysis_more_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/analysis_more_test.cpp.o.d"
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/pp_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/btree_test.cpp" "tests/CMakeFiles/pp_tests.dir/btree_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/btree_test.cpp.o.d"
+  "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/pp_tests.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/codegen_test.cpp.o.d"
+  "/root/repo/tests/dynamic_test.cpp" "tests/CMakeFiles/pp_tests.dir/dynamic_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/dynamic_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/pp_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/optimize_test.cpp" "tests/CMakeFiles/pp_tests.dir/optimize_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/optimize_test.cpp.o.d"
+  "/root/repo/tests/pipeline_fuzz_test.cpp" "tests/CMakeFiles/pp_tests.dir/pipeline_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/pipeline_fuzz_test.cpp.o.d"
+  "/root/repo/tests/poly_test.cpp" "tests/CMakeFiles/pp_tests.dir/poly_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/poly_test.cpp.o.d"
+  "/root/repo/tests/pset_basic_test.cpp" "tests/CMakeFiles/pp_tests.dir/pset_basic_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/pset_basic_test.cpp.o.d"
+  "/root/repo/tests/pset_more_test.cpp" "tests/CMakeFiles/pp_tests.dir/pset_more_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/pset_more_test.cpp.o.d"
+  "/root/repo/tests/rewrite_test.cpp" "tests/CMakeFiles/pp_tests.dir/rewrite_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/rewrite_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/pp_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/pp_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/pp_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/sweep_test.cpp" "tests/CMakeFiles/pp_tests.dir/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/sweep_test.cpp.o.d"
+  "/root/repo/tests/tool_test.cpp" "tests/CMakeFiles/pp_tests.dir/tool_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/tool_test.cpp.o.d"
+  "/root/repo/tests/uvm_test.cpp" "tests/CMakeFiles/pp_tests.dir/uvm_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/uvm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pset/CMakeFiles/pp_pset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/pp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/pp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/pp_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/tool/CMakeFiles/pp_tool.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -30,6 +30,8 @@ int main() {
         rc.numGpus = g;
         rc.mode = sim::ExecutionMode::TimingOnly;
         rc.coalesceEnumerators = coalesce;
+        // Measure the per-launch enumeration itself, not cached replays.
+        rc.enableEnumerationCache = false;
         rt::Runtime rt(rc, model(), module());
         auto t0 = std::chrono::steady_clock::now();
         if (b == apps::Benchmark::Hotspot)

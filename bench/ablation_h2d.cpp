@@ -24,6 +24,8 @@ int main() {
       rc.numGpus = g;
       rc.mode = sim::ExecutionMode::TimingOnly;
       rc.h2dDistribution = dist;
+      // Model the paper's runtime: re-enumerate per launch, no plan cache.
+      rc.enableEnumerationCache = false;
       rt::Runtime rt(rc, model(), module());
       apps::WorkloadConfig cfg = apps::configFor(apps::Benchmark::Matmul,
                                                  apps::ProblemSize::Small);

@@ -33,6 +33,8 @@ int main() {
         rc.numGpus = g;
         rc.mode = sim::ExecutionMode::TimingOnly;
         rc.trackSharedCopies = shared;
+        // Model the paper's runtime: re-enumerate per launch, no plan cache.
+        rc.enableEnumerationCache = false;
         rt::Runtime rt(rc, model(), module());
         if (c.bench == apps::Benchmark::Hotspot) {
           apps::runHotspot(rt, c.n, c.iters, nullptr, nullptr);

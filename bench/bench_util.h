@@ -48,6 +48,11 @@ inline RunResult runPartitioned(apps::Benchmark b, i64 n, int iters, int gpus,
   cfg.mode = sim::ExecutionMode::TimingOnly;
   cfg.enableTransfers = transfers;
   cfg.enableDependencyResolution = resolution;
+  // The paper's runtime re-enumerates the dependency patterns on every
+  // launch; the reproduction benches model that system, so the launch-plan
+  // cache (an extension) stays off here.  bench/cache_repeat_launch measures
+  // the cache itself.
+  cfg.enableEnumerationCache = false;
   rt::Runtime rt(cfg, model(), module());
   switch (b) {
     case apps::Benchmark::Hotspot:

@@ -39,13 +39,16 @@ BENCHMARK(BM_BTreeLookup);
 
 void BM_LaunchResolution(benchmark::State& state) {
   // One full partitioned hotspot launch on G simulated GPUs: enumerators,
-  // tracker queries, tracker updates, modeled copies.
+  // tracker queries, tracker updates, modeled copies.  The enumeration cache
+  // is off so the loop measures the paper's per-launch enumeration, not a
+  // plan replay (bench/cache_repeat_launch covers the cached path).
   const int gpus = static_cast<int>(state.range(0));
   static ir::Module mod = apps::buildBenchmarkModule();
   static analysis::ApplicationModel model = analysis::analyzeModule(mod);
   rt::RuntimeConfig cfg;
   cfg.numGpus = gpus;
   cfg.mode = sim::ExecutionMode::TimingOnly;
+  cfg.enableEnumerationCache = false;
   rt::Runtime rt(cfg, model, mod);
   const i64 n = 4096;
   rt::VirtualBuffer* t0 = rt.malloc(n * n * 8);

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/cache_repeat_launch.cpp" "bench/CMakeFiles/cache_repeat_launch.dir/cache_repeat_launch.cpp.o" "gcc" "bench/CMakeFiles/cache_repeat_launch.dir/cache_repeat_launch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/pp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tool/CMakeFiles/pp_tool.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/pp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/pp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/pset/CMakeFiles/pp_pset.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/pp_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

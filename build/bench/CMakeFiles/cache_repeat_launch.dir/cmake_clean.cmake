@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_repeat_launch.dir/cache_repeat_launch.cpp.o"
+  "CMakeFiles/cache_repeat_launch.dir/cache_repeat_launch.cpp.o.d"
+  "cache_repeat_launch"
+  "cache_repeat_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_repeat_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -226,14 +226,15 @@ bench/CMakeFiles/single_gpu_overhead.dir/single_gpu_overhead.cpp.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/codegen/enumerator.h \
- /usr/include/c++/12/optional /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/ir/interp.h \
- /root/repo/src/ir/transform.h /root/repo/src/pset/ast.h \
- /root/repo/src/rt/tracker.h /root/repo/src/rt/btree.h \
- /root/repo/src/sim/machine.h /root/repo/src/ir/cost.h \
- /root/repo/src/sim/spec.h /root/repo/src/apps/kernels.h \
- /root/repo/src/apps/workloads.h
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/codegen/enumerator.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/ir/interp.h /root/repo/src/ir/transform.h \
+ /root/repo/src/pset/ast.h /root/repo/src/rt/tracker.h \
+ /root/repo/src/rt/btree.h /root/repo/src/sim/machine.h \
+ /root/repo/src/ir/cost.h /root/repo/src/sim/spec.h \
+ /root/repo/src/apps/kernels.h /root/repo/src/apps/workloads.h

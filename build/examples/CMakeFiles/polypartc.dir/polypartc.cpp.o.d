@@ -241,8 +241,10 @@ examples/CMakeFiles/polypartc.dir/polypartc.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/ir/interp.h \
  /root/repo/src/ir/transform.h /root/repo/src/pset/ast.h \
  /root/repo/src/rewrite/rewriter.h /root/repo/src/rt/runtime.h \
- /usr/include/c++/12/chrono /root/repo/src/rt/tracker.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/rt/tracker.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/rt/btree.h \
  /root/repo/src/sim/machine.h /root/repo/src/ir/cost.h \

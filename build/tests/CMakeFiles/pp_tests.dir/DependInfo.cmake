@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/btree_test.cpp" "tests/CMakeFiles/pp_tests.dir/btree_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/btree_test.cpp.o.d"
   "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/pp_tests.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/codegen_test.cpp.o.d"
   "/root/repo/tests/dynamic_test.cpp" "tests/CMakeFiles/pp_tests.dir/dynamic_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/dynamic_test.cpp.o.d"
+  "/root/repo/tests/enum_cache_test.cpp" "tests/CMakeFiles/pp_tests.dir/enum_cache_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/enum_cache_test.cpp.o.d"
   "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/pp_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/ir_test.cpp.o.d"
   "/root/repo/tests/optimize_test.cpp" "tests/CMakeFiles/pp_tests.dir/optimize_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/optimize_test.cpp.o.d"
   "/root/repo/tests/pipeline_fuzz_test.cpp" "tests/CMakeFiles/pp_tests.dir/pipeline_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/pipeline_fuzz_test.cpp.o.d"
@@ -25,6 +26,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/pp_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/support_test.cpp.o.d"
   "/root/repo/tests/sweep_test.cpp" "tests/CMakeFiles/pp_tests.dir/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/sweep_test.cpp.o.d"
   "/root/repo/tests/tool_test.cpp" "tests/CMakeFiles/pp_tests.dir/tool_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/tool_test.cpp.o.d"
+  "/root/repo/tests/tracker_test.cpp" "tests/CMakeFiles/pp_tests.dir/tracker_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/tracker_test.cpp.o.d"
   "/root/repo/tests/uvm_test.cpp" "tests/CMakeFiles/pp_tests.dir/uvm_test.cpp.o" "gcc" "tests/CMakeFiles/pp_tests.dir/uvm_test.cpp.o.d"
   )
 

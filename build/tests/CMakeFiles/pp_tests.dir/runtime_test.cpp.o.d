@@ -305,10 +305,11 @@ tests/CMakeFiles/pp_tests.dir/runtime_test.cpp.o: \
  /root/repo/src/support/json.h /root/repo/src/apps/drivers.h \
  /root/repo/src/rt/runtime.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /root/repo/src/codegen/enumerator.h /root/repo/src/ir/interp.h \
- /root/repo/src/ir/transform.h /root/repo/src/pset/ast.h \
- /root/repo/src/rt/tracker.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/codegen/enumerator.h \
+ /root/repo/src/ir/interp.h /root/repo/src/ir/transform.h \
+ /root/repo/src/pset/ast.h /root/repo/src/rt/tracker.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/rt/btree.h \
  /root/repo/src/sim/machine.h /root/repo/src/ir/cost.h \

@@ -38,6 +38,28 @@ PartitionTuple PartitionTuple::fromBlocks(const ir::GridPartition& p,
   return t;
 }
 
+EnumerationKey EnumerationKey::of(const PartitionTuple& partition,
+                                  const ir::LaunchConfig& cfg,
+                                  std::span<const i64> scalars) {
+  EnumerationKey k;
+  k.words.reserve(18 + scalars.size());
+  k.words.insert(k.words.end(), {cfg.block.x, cfg.block.y, cfg.block.z,
+                                 cfg.grid.x, cfg.grid.y, cfg.grid.z});
+  k.words.insert(k.words.end(), scalars.begin(), scalars.end());
+  k.words.insert(k.words.end(), partition.lo.begin(), partition.lo.end());
+  k.words.insert(k.words.end(), partition.hi.begin(), partition.hi.end());
+  return k;
+}
+
+std::size_t EnumerationKeyHash::operator()(const EnumerationKey& k) const {
+  u64 h = 1469598103934665603ull;
+  for (i64 w : k.words) {
+    h ^= static_cast<u64>(w);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
 namespace {
 
 std::vector<std::string> partitionParamNames() {
@@ -309,6 +331,15 @@ void Enumerator::enumerate(const PartitionTuple& partition,
     info->ranges += emitted;
     info->logicalRows += logicalRows;
   }
+}
+
+MaterializedRanges Enumerator::materialize(const PartitionTuple& partition,
+                                           const ir::LaunchConfig& cfg,
+                                           std::span<const i64> scalars) const {
+  MaterializedRanges out;
+  enumerate(partition, cfg, scalars,
+            [&](i64 b, i64 e) { out.ranges.emplace_back(b, e); }, &out.info);
+  return out;
 }
 
 i64 Enumerator::countElements(const PartitionTuple& partition,

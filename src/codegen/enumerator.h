@@ -55,6 +55,27 @@ struct PartitionTuple {
 /// Callback receiving one flattened half-open element range [begin, end).
 using RangeFn = std::function<void(i64 begin, i64 end)>;
 
+/// Hashable identity of one enumeration request: the launch configuration,
+/// the 6-dimensional partition box, and the i64 scalar arguments, flattened
+/// in the Section 6.2 ABI order.  enumerate() is a pure function of these
+/// values (plus the enumerator's compile-time state), so equal keys yield
+/// identical range lists — the property the runtime's launch-plan cache
+/// relies on.
+struct EnumerationKey {
+  std::vector<i64> words;
+
+  static EnumerationKey of(const PartitionTuple& partition,
+                           const ir::LaunchConfig& cfg,
+                           std::span<const i64> scalars);
+  bool operator==(const EnumerationKey&) const = default;
+};
+
+/// FNV-1a over the key words (launch shapes per application are few; this
+/// only needs to separate them cheaply).
+struct EnumerationKeyHash {
+  std::size_t operator()(const EnumerationKey& k) const;
+};
+
 /// Work accounting for one enumeration: `ranges` is the number of callback
 /// invocations after coalescing/merging; `logicalRows` is the number of row
 /// ranges the paper's uncoalesced scheme (first/last element of each array
@@ -64,6 +85,14 @@ using RangeFn = std::function<void(i64 begin, i64 end)>;
 struct EnumInfo {
   i64 ranges = 0;
   i64 logicalRows = 0;
+};
+
+/// One enumerator's output materialized for replay: the coalesced ranges in
+/// emission order plus the work accounting a live enumerate() call would
+/// have reported.  Stored by the runtime's enumeration cache.
+struct MaterializedRanges {
+  std::vector<std::pair<i64, i64>> ranges;
+  EnumInfo info;
 };
 
 class Enumerator {
@@ -91,6 +120,12 @@ class Enumerator {
   void enumerate(const PartitionTuple& partition, const ir::LaunchConfig& cfg,
                  std::span<const i64> scalars, const RangeFn& emit,
                  EnumInfo* info = nullptr) const;
+
+  /// Runs enumerate() once and records the emitted ranges for later replay
+  /// under the same EnumerationKey.
+  MaterializedRanges materialize(const PartitionTuple& partition,
+                                 const ir::LaunchConfig& cfg,
+                                 std::span<const i64> scalars) const;
 
   /// Total number of elements in all emitted ranges (duplicates counted).
   i64 countElements(const PartitionTuple& partition, const ir::LaunchConfig& cfg,

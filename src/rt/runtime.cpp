@@ -56,6 +56,43 @@ const Runtime::KernelEntry& Runtime::entry(const std::string& name) const {
   return it->second;
 }
 
+Runtime::KernelEntry& Runtime::entry(const std::string& name) {
+  auto it = kernels_.find(name);
+  PP_ASSERT_MSG(it != kernels_.end(), "launch of unknown kernel");
+  return it->second;
+}
+
+const Runtime::LaunchPlan* Runtime::resolvePlan(KernelEntry& ke,
+                                                const PartitionTuple& tuple,
+                                                const LaunchConfig& cfg,
+                                                std::span<const i64> scalars,
+                                                bool& wasHit) {
+  if (!config_.enableEnumerationCache) return nullptr;
+  codegen::EnumerationKey key = codegen::EnumerationKey::of(tuple, cfg, scalars);
+  auto it = ke.planCache.find(key);
+  if (it != ke.planCache.end()) {
+    wasHit = true;
+    ++stats_.enumCacheHits;
+    return &it->second;
+  }
+  wasHit = false;
+  ++stats_.enumCacheMisses;
+  const i64 cap = config_.enumerationCachePlansPerKernel;
+  if (cap > 0 && static_cast<i64>(ke.planCache.size()) >= cap) {
+    ke.planCache.erase(ke.planCacheOrder.front());
+    ke.planCacheOrder.pop_front();
+    ++stats_.enumCacheEvictions;
+  }
+  LaunchPlan plan;
+  plan.reserve(ke.enumerators.size());
+  for (const Enumerator& e : ke.enumerators)
+    plan.push_back(e.materialize(tuple, cfg, scalars));
+  auto [pos, inserted] = ke.planCache.emplace(std::move(key), std::move(plan));
+  PP_ASSERT(inserted);
+  ke.planCacheOrder.push_back(pos->first);
+  return &pos->second;
+}
+
 const ir::Kernel& Runtime::partitionedKernel(const std::string& name) const {
   return *entry(name).partitioned;
 }
@@ -97,6 +134,10 @@ void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
       // dependency resolution before the next launch.
       auto* vb = static_cast<VirtualBuffer*>(dst);
       PP_ASSERT(bytes <= vb->bytes_);
+      // Kernels still writing this buffer must drain before the scatter
+      // overwrites the device instances; the post-copy barrier alone would
+      // let the copies race with in-flight kernels in the timing model.
+      machine_->synchronizeAll();
       const int g = config_.numGpus;
       if (config_.h2dDistribution == H2DDistribution::Linear) {
         const i64 elems = bytes / kElemBytes;
@@ -104,8 +145,10 @@ void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
           i64 lo = elems * d / g * kElemBytes;
           i64 hi = d + 1 == g ? bytes : elems * (d + 1) / g * kElemBytes;
           if (lo >= hi) continue;
+          // src is null in TimingOnly mode; don't offset the null pointer.
           machine_->copyHostToDevice(vb->instances_[static_cast<std::size_t>(d)], lo,
-                                     static_cast<const char*>(src) + lo, hi - lo);
+                                     src ? static_cast<const char*>(src) + lo : nullptr,
+                                     hi - lo);
           vb->tracker_.update(lo, hi, d);
         }
       } else {
@@ -116,7 +159,8 @@ void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
         while (off < bytes) {
           i64 len = std::min(page, bytes - off);
           machine_->copyHostToDevice(vb->instances_[static_cast<std::size_t>(d)], off,
-                                     static_cast<const char*>(src) + off, len);
+                                     src ? static_cast<const char*>(src) + off : nullptr,
+                                     len);
           vb->tracker_.update(off, off + len, d);
           off += len;
           d = (d + 1) % g;
@@ -135,7 +179,7 @@ void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
       vb->tracker_.query(0, bytes, [&](i64 b, i64 e, Owner owner) {
         if (owner < 0) return;  // never written: leave host bytes untouched
         machine_->copyDeviceToHost(
-            static_cast<char*>(dst) + b,
+            dst ? static_cast<char*>(dst) + b : nullptr,
             vb->instances_[static_cast<std::size_t>(owner)], b, e - b);
       });
       machine_->synchronizeAll();
@@ -170,7 +214,7 @@ GridPartition Runtime::partitionFor(const KernelModel& model, const Dim3& grid,
   return p;
 }
 
-void Runtime::synchronizeReads(const KernelEntry& ke, const LaunchConfig& cfg,
+void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
                                std::span<const LaunchArg> args,
                                std::span<const i64> scalars) {
   auto t0 = std::chrono::steady_clock::now();
@@ -178,14 +222,17 @@ void Runtime::synchronizeReads(const KernelEntry& ke, const LaunchConfig& cfg,
     GridPartition gp = partitionFor(*ke.model, cfg.grid, gpu);
     if (gp.blockCount() == 0) continue;
     PartitionTuple tuple = PartitionTuple::fromBlocks(gp, cfg.block);
+    bool cached = false;
+    const LaunchPlan* plan = resolvePlan(ke, tuple, cfg, scalars, cached);
 
-    for (const Enumerator& e : ke.enumerators) {
+    for (std::size_t ei = 0; ei < ke.enumerators.size(); ++ei) {
+      const Enumerator& e = ke.enumerators[ei];
       if (e.isWrite()) continue;
       VirtualBuffer* vb = args[e.argIndex()].buffer;
       PP_ASSERT(vb != nullptr);
       codegen::EnumInfo info;
       i64 segments = 0;
-      e.enumerate(tuple, cfg, scalars, [&](i64 elemB, i64 elemE) {
+      auto resolveRange = [&](i64 elemB, i64 elemE) {
         vb->tracker_.querySharers(
             elemB * kElemBytes, elemE * kElemBytes,
             [&](i64 b, i64 en, Owner owner, u64 sharers) {
@@ -209,11 +256,21 @@ void Runtime::synchronizeReads(const KernelEntry& ke, const LaunchConfig& cfg,
         for (const auto& [b, en] : sharerScratch_)
           vb->tracker_.addSharer(b, en, gpu);
         sharerScratch_.clear();
-      }, &info);
+      };
+      if (plan != nullptr) {
+        // Replay the memoized ranges against the live tracker.
+        const codegen::MaterializedRanges& mr = (*plan)[ei];
+        for (const auto& [b, en] : mr.ranges) resolveRange(b, en);
+        info = mr.info;
+      } else {
+        e.enumerate(tuple, cfg, scalars, resolveRange, &info);
+      }
       stats_.rangesResolved += info.ranges;
       stats_.logicalRowsResolved += info.logicalRows;
       stats_.trackerSegmentsVisited += segments;
-      double perRow = config_.resolutionCostPerRow +
+      double rowCost =
+          cached ? config_.cachedResolutionCostPerRow : config_.resolutionCostPerRow;
+      double perRow = rowCost +
                       (config_.enableTransfers ? config_.transferIssueCostPerRow : 0);
       machine_->advanceHost(config_.resolutionCostPerArray +
                             perRow * static_cast<double>(info.logicalRows + segments));
@@ -222,7 +279,7 @@ void Runtime::synchronizeReads(const KernelEntry& ke, const LaunchConfig& cfg,
   stats_.resolutionWallSeconds += wallSeconds(t0);
 }
 
-void Runtime::updateTrackers(const KernelEntry& ke, const LaunchConfig& cfg,
+void Runtime::updateTrackers(KernelEntry& ke, const LaunchConfig& cfg,
                              std::span<const LaunchArg> args,
                              std::span<const i64> scalars) {
   auto t0 = std::chrono::steady_clock::now();
@@ -230,20 +287,31 @@ void Runtime::updateTrackers(const KernelEntry& ke, const LaunchConfig& cfg,
     GridPartition gp = partitionFor(*ke.model, cfg.grid, gpu);
     if (gp.blockCount() == 0) continue;
     PartitionTuple tuple = PartitionTuple::fromBlocks(gp, cfg.block);
+    bool cached = false;
+    const LaunchPlan* plan = resolvePlan(ke, tuple, cfg, scalars, cached);
 
-    for (const Enumerator& e : ke.enumerators) {
+    for (std::size_t ei = 0; ei < ke.enumerators.size(); ++ei) {
+      const Enumerator& e = ke.enumerators[ei];
       if (!e.isWrite()) continue;
       VirtualBuffer* vb = args[e.argIndex()].buffer;
       PP_ASSERT(vb != nullptr);
       codegen::EnumInfo info;
-      e.enumerate(tuple, cfg, scalars, [&](i64 elemB, i64 elemE) {
-        vb->tracker_.update(elemB * kElemBytes, elemE * kElemBytes, gpu);
-      }, &info);
+      if (plan != nullptr) {
+        const codegen::MaterializedRanges& mr = (*plan)[ei];
+        for (const auto& [b, en] : mr.ranges)
+          vb->tracker_.update(b * kElemBytes, en * kElemBytes, gpu);
+        info = mr.info;
+      } else {
+        e.enumerate(tuple, cfg, scalars, [&](i64 elemB, i64 elemE) {
+          vb->tracker_.update(elemB * kElemBytes, elemE * kElemBytes, gpu);
+        }, &info);
+      }
       stats_.rangesResolved += info.ranges;
       stats_.logicalRowsResolved += info.logicalRows;
+      double rowCost =
+          cached ? config_.cachedResolutionCostPerRow : config_.resolutionCostPerRow;
       machine_->advanceHost(config_.resolutionCostPerArray +
-                            config_.resolutionCostPerRow *
-                                static_cast<double>(info.logicalRows));
+                            rowCost * static_cast<double>(info.logicalRows));
     }
   }
   stats_.resolutionWallSeconds += wallSeconds(t0);
@@ -251,7 +319,7 @@ void Runtime::updateTrackers(const KernelEntry& ke, const LaunchConfig& cfg,
 
 void Runtime::launch(const std::string& kernelName, const Dim3& grid,
                      const Dim3& block, std::span<const LaunchArg> args) {
-  const KernelEntry& ke = entry(kernelName);
+  KernelEntry& ke = entry(kernelName);
   const KernelModel& model = *ke.model;
   PP_ASSERT_MSG(args.size() + 6 == ke.partitioned->numParams(),
                 "kernel argument count mismatch");

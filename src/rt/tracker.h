@@ -23,10 +23,13 @@
 
 namespace polypart::rt {
 
-/// Owner of a segment: a device ordinal, or one of the sentinels below.
+/// Owner of a segment: a device ordinal, or the sentinel below.
+/// There is deliberately no "host owns" sentinel: HostToDevice scatters
+/// assign device owners immediately, and DeviceToHost gathers leave the
+/// device instances current (copying data out does not invalidate them),
+/// so no tracker state ever needs to name the host as the freshest copy.
 using Owner = int;
 inline constexpr Owner kOwnerUndefined = -1;  // never written
-inline constexpr Owner kOwnerHost = -2;       // most recent copy is on the host
 
 /// std::map with the subset of the BTreeMap interface the tracker uses;
 /// exists for the tracker-data-structure ablation.
@@ -126,6 +129,10 @@ class SegmentTrackerT {
   void addSharer(i64 begin, i64 end, int device) {
     clamp(begin, end);
     if (begin >= end) return;
+    // Devices outside the 64-bit sharer bitmap cannot be recorded; splitting
+    // anyway would create adjacent segments with identical (owner, sharers)
+    // state and rely on coalesceRange to re-merge every one of them.
+    if (sharerBit(device) == 0) return;
     splitAt(begin);
     splitAt(end);
     for (auto it = segments_.lowerBound(begin); !it.atEnd() && it.key() < end;

@@ -84,13 +84,6 @@ void* Machine::bufferData(DevBuffer b) {
   return storage(b).data.data();
 }
 
-double Machine::busy(double& engineReady, double duration) {
-  double start = std::max(hostNow_, engineReady);
-  engineReady = start + duration;
-  stats_.transferBusySeconds += duration;
-  return start;
-}
-
 double Machine::reserveFabric(double earliestStart, double bytes) {
   // The shared fabric caps aggregate transfer throughput: each transfer
   // appends its byte time to a backlog that drains from the current host
@@ -122,7 +115,7 @@ void Machine::copyHostToDevice(DevBuffer dst, i64 dstOff, const void* src, i64 b
   d.copyInReady = start + spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
   stats_.transferBusySeconds += spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
   ++stats_.transfers;
-  stats_.bytesHostToDevice += static_cast<i64>(mb);
+  stats_.bytesHostToDevice += mb;
 }
 
 void Machine::copyDeviceToHost(void* dst, DevBuffer src, i64 srcOff, i64 bytes) {
@@ -139,7 +132,7 @@ void Machine::copyDeviceToHost(void* dst, DevBuffer src, i64 srcOff, i64 bytes) 
   d.copyOutReady = start + spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
   stats_.transferBusySeconds += spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
   ++stats_.transfers;
-  stats_.bytesDeviceToHost += static_cast<i64>(mb);
+  stats_.bytesDeviceToHost += mb;
 }
 
 void Machine::copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff,
@@ -166,7 +159,7 @@ void Machine::copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff,
   dDst.copyInReady = start + duration;
   stats_.transferBusySeconds += duration;
   ++stats_.transfers;
-  stats_.bytesPeerToPeer += static_cast<i64>(mb);
+  stats_.bytesPeerToPeer += mb;
 }
 
 void Machine::launchKernel(int device, const ir::Kernel& kernel,

@@ -57,9 +57,13 @@ struct MachineStats {
   i64 apiCalls = 0;
   i64 kernelLaunches = 0;
   i64 transfers = 0;
-  i64 bytesHostToDevice = 0;
-  i64 bytesDeviceToHost = 0;
-  i64 bytesPeerToPeer = 0;
+  /// Modeled traffic per direction.  Accumulated as double: modeled bytes
+  /// are fractional when the modeled element width differs from the 8-byte
+  /// storage width, and truncating per transfer would under-report workloads
+  /// made of many small copies.
+  double bytesHostToDevice = 0;
+  double bytesDeviceToHost = 0;
+  double bytesPeerToPeer = 0;
   double kernelBusySeconds = 0;    // summed across devices
   double transferBusySeconds = 0;  // summed across engines
 };
@@ -124,7 +128,6 @@ class Machine {
 
   Storage& storage(DevBuffer b);
   const Storage& storage(DevBuffer b) const;
-  double busy(double& engineReady, double duration);
   double modeledBytes(i64 storageBytes) const;
 
   /// Reserves fabric time for a transfer; returns the earliest start.

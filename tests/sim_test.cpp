@@ -178,5 +178,30 @@ TEST(Sim, PeerCopiesToDistinctDestinationsOverlap) {
   EXPECT_NEAR(m.now(), 3e-3, 1e-9);
 }
 
+TEST(Sim, ByteCountersAccumulateFractionalModeledBytes) {
+  // With a 4-byte modeled element on 8-byte storage every copy counts half
+  // its storage bytes; small copies produce fractional modeled bytes that
+  // must not be truncated per transfer (128 one-byte copies used to count 0).
+  MachineSpec spec = flatSpec(2);
+  spec.bytesPerElement = 4;
+  Machine m(spec, ExecutionMode::TimingOnly);
+  DevBuffer a = m.alloc(0, 128);
+  DevBuffer b = m.alloc(1, 128);
+  for (i64 off = 0; off < 128; ++off) {
+    m.copyHostToDevice(a, off, nullptr, 1);
+    m.copyPeer(b, off, a, off, 1);
+    m.copyDeviceToHost(nullptr, b, off, 1);
+  }
+  EXPECT_DOUBLE_EQ(m.stats().bytesHostToDevice, 64.0);
+  EXPECT_DOUBLE_EQ(m.stats().bytesPeerToPeer, 64.0);
+  EXPECT_DOUBLE_EQ(m.stats().bytesDeviceToHost, 64.0);
+
+  // Consistency: one bulk copy of the same payload counts the same traffic.
+  Machine bulk(spec, ExecutionMode::TimingOnly);
+  DevBuffer c = bulk.alloc(0, 128);
+  bulk.copyHostToDevice(c, 0, nullptr, 128);
+  EXPECT_DOUBLE_EQ(bulk.stats().bytesHostToDevice, m.stats().bytesHostToDevice);
+}
+
 }  // namespace
 }  // namespace polypart::sim

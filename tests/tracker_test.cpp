@@ -1,0 +1,104 @@
+// Property tests for the segment tracker (rt/tracker.h): the tiling /
+// coalescing / sharer invariants must survive arbitrary update + addSharer
+// sequences, including devices outside the 64-bit sharer bitmap and the
+// begin == 0 / full-buffer boundary cases.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "rt/tracker.h"
+#include "support/rng.h"
+
+namespace polypart::rt {
+namespace {
+
+TEST(Tracker, FreshTrackerSatisfiesInvariants) {
+  SegmentTracker t(1024);
+  EXPECT_TRUE(t.checkInvariants());
+  EXPECT_EQ(t.segmentCount(), 1u);
+  EXPECT_EQ(t.ownerAt(0), kOwnerUndefined);
+  SegmentTracker empty(0);
+  EXPECT_TRUE(empty.checkInvariants());
+}
+
+TEST(Tracker, AddSharerOutOfRangeDeviceIsANoOp) {
+  SegmentTracker t(1000);
+  t.update(0, 400, 0);
+  t.update(400, 1000, 1);
+  ASSERT_TRUE(t.checkInvariants());
+  const std::size_t before = t.segmentCount();
+  // Devices without a sharer bit cannot be recorded; the call must not
+  // split or otherwise disturb the segment structure (it used to splitAt
+  // unconditionally and rely on coalesceRange to undo the damage).
+  t.addSharer(100, 300, 64);
+  t.addSharer(0, 1000, 1000);
+  t.addSharer(50, 450, -3);
+  EXPECT_EQ(t.segmentCount(), before);
+  EXPECT_TRUE(t.checkInvariants());
+  EXPECT_EQ(t.ownerAt(0), 0);
+  EXPECT_EQ(t.ownerAt(999), 1);
+}
+
+TEST(Tracker, AddSharerBoundaryCases) {
+  SegmentTracker t(256);
+  t.update(0, 256, 2);
+  t.addSharer(0, 64, 1);  // begin == 0
+  EXPECT_TRUE(t.checkInvariants());
+  t.addSharer(0, 256, 3);  // full buffer
+  EXPECT_TRUE(t.checkInvariants());
+  t.addSharer(0, 256, 64);  // full buffer, device out of range: no-op
+  EXPECT_TRUE(t.checkInvariants());
+  bool sawSharer3 = false;
+  t.querySharers(0, 256, [&](i64, i64, Owner owner, u64 sharers) {
+    EXPECT_EQ(owner, 2);
+    EXPECT_NE(sharers & (u64{1} << 2), 0u);  // owner is always a sharer
+    if ((sharers & (u64{1} << 3)) != 0) sawSharer3 = true;
+  });
+  EXPECT_TRUE(sawSharer3);
+  // A write collapses the sharer set back to the owner alone.
+  t.update(0, 256, 0);
+  EXPECT_EQ(t.segmentCount(), 1u);
+  t.querySharers(0, 256, [&](i64, i64, Owner owner, u64 sharers) {
+    EXPECT_EQ(owner, 0);
+    EXPECT_EQ(sharers, u64{1});
+  });
+}
+
+TEST(Tracker, RandomizedOpsPreserveInvariantsOnBothBackends) {
+  Rng rng(123);
+  for (int trial = 0; trial < 16; ++trial) {
+    const i64 size = 512;
+    SegmentTracker btree(size);
+    SegmentTrackerStdMap stdmap(size);
+    for (int op = 0; op < 300; ++op) {
+      i64 b = rng.range(0, size);
+      i64 e = rng.range(0, size);
+      if (b > e) std::swap(b, e);
+      // Mostly valid devices, with a tail of out-of-range ones (>= 64).
+      int dev = static_cast<int>(rng.range(0, 70));
+      if (rng.chance(0.5)) {
+        btree.update(b, e, dev % 8);
+        stdmap.update(b, e, dev % 8);
+      } else {
+        btree.addSharer(b, e, dev);
+        stdmap.addSharer(b, e, dev);
+      }
+      ASSERT_TRUE(btree.checkInvariants()) << "trial " << trial << " op " << op;
+      ASSERT_TRUE(stdmap.checkInvariants()) << "trial " << trial << " op " << op;
+      std::vector<std::tuple<i64, i64, Owner, u64>> a, s;
+      btree.querySharers(0, size, [&](i64 bb, i64 ee, Owner o, u64 sh) {
+        a.emplace_back(bb, ee, o, sh);
+      });
+      stdmap.querySharers(0, size, [&](i64 bb, i64 ee, Owner o, u64 sh) {
+        s.emplace_back(bb, ee, o, sh);
+      });
+      ASSERT_EQ(a, s) << "trial " << trial << " op " << op;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polypart::rt

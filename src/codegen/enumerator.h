@@ -117,12 +117,20 @@ class Enumerator {
   /// emitted in non-decreasing order per disjunct and adjacent ranges are
   /// merged; disjuncts of a union map may overlap (the tracker tolerates
   /// duplicates, Section 6.1).
+  ///
+  /// Thread safety: enumerate()/materialize()/countElements() read only the
+  /// enumerator's compile-time state (nests, shape rows, `coalesce`) and
+  /// keep all evaluation scratch on the stack, so concurrent calls on one
+  /// Enumerator from multiple threads are safe — the runtime's parallel
+  /// resolution engine materializes every (partition, enumerator) pair of a
+  /// launch concurrently.  Do not flip `coalesce` while calls are in flight.
   void enumerate(const PartitionTuple& partition, const ir::LaunchConfig& cfg,
                  std::span<const i64> scalars, const RangeFn& emit,
                  EnumInfo* info = nullptr) const;
 
   /// Runs enumerate() once and records the emitted ranges for later replay
-  /// under the same EnumerationKey.
+  /// under the same EnumerationKey.  Safe to call concurrently (see
+  /// enumerate()).
   MaterializedRanges materialize(const PartitionTuple& partition,
                                  const ir::LaunchConfig& cfg,
                                  std::span<const i64> scalars) const;

@@ -4,8 +4,11 @@
 #include <cstring>
 #include <limits>
 #include <tuple>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace polypart::rt {
 
@@ -35,17 +38,32 @@ Runtime::Runtime(RuntimeConfig config, analysis::ApplicationModel model,
     : config_(config), model_(std::move(model)) {
   config_.machine.numDevices = config_.numGpus;
   machine_ = std::make_unique<sim::Machine>(config_.machine, config_.mode);
+  if (config_.resolutionThreads > 0)
+    pool_ = std::make_unique<support::ThreadPool>(config_.resolutionThreads);
 
-  for (const KernelModel& km : model_.kernels) {
+  // Per-kernel partitioning (Section 7) and enumerator generation
+  // (Section 6) are independent across kernels; with a pool they build
+  // concurrently into pre-sized slots and the name map is populated
+  // afterwards in model order.
+  const i64 numKernels = static_cast<i64>(model_.kernels.size());
+  std::vector<KernelEntry> entries(static_cast<std::size_t>(numKernels));
+  auto buildEntry = [&](i64 i) {
+    const KernelModel& km = model_.kernels[static_cast<std::size_t>(i)];
     ir::KernelPtr k = kernels.find(km.kernel);
     PP_ASSERT_MSG(k != nullptr, "model references a kernel missing from the module");
-    KernelEntry ke;
+    KernelEntry& ke = entries[static_cast<std::size_t>(i)];
     ke.model = &km;
     ke.partitioned = ir::partitionKernel(*k);
     ke.enumerators = codegen::buildEnumerators(km);
     for (Enumerator& e : ke.enumerators) e.coalesce = config_.coalesceEnumerators;
-    kernels_.emplace(km.kernel, std::move(ke));
+  };
+  if (pool_) {
+    pool_->parallelFor(numKernels, buildEntry);
+  } else {
+    for (i64 i = 0; i < numKernels; ++i) buildEntry(i);
   }
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    kernels_.emplace(model_.kernels[i].kernel, std::move(entries[i]));
 }
 
 Runtime::~Runtime() = default;
@@ -73,7 +91,7 @@ const Runtime::LaunchPlan* Runtime::resolvePlan(KernelEntry& ke,
   if (it != ke.planCache.end()) {
     wasHit = true;
     ++stats_.enumCacheHits;
-    return &it->second;
+    return it->second.get();
   }
   wasHit = false;
   ++stats_.enumCacheMisses;
@@ -83,14 +101,14 @@ const Runtime::LaunchPlan* Runtime::resolvePlan(KernelEntry& ke,
     ke.planCacheOrder.pop_front();
     ++stats_.enumCacheEvictions;
   }
-  LaunchPlan plan;
-  plan.reserve(ke.enumerators.size());
+  auto plan = std::make_shared<LaunchPlan>();
+  plan->reserve(ke.enumerators.size());
   for (const Enumerator& e : ke.enumerators)
-    plan.push_back(e.materialize(tuple, cfg, scalars));
+    plan->push_back(e.materialize(tuple, cfg, scalars));
   auto [pos, inserted] = ke.planCache.emplace(std::move(key), std::move(plan));
   PP_ASSERT(inserted);
   ke.planCacheOrder.push_back(pos->first);
-  return &pos->second;
+  return pos->second.get();
 }
 
 const ir::Kernel& Runtime::partitionedKernel(const std::string& name) const {
@@ -218,6 +236,9 @@ void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
                                std::span<const LaunchArg> args,
                                std::span<const i64> scalars) {
   auto t0 = std::chrono::steady_clock::now();
+  // Shared-copy bookkeeping scratch; call-local so the serial and parallel
+  // engines have the same per-task-ownership shape (no cross-call aliasing).
+  std::vector<std::pair<i64, i64>> sharerScratch;
   for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
     GridPartition gp = partitionFor(*ke.model, cfg.grid, gpu);
     if (gp.blockCount() == 0) continue;
@@ -248,14 +269,14 @@ void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
                                    vb->instances_[static_cast<std::size_t>(owner)],
                                    b, en - b);
                 ++stats_.peerCopies;
-                if (config_.trackSharedCopies) sharerScratch_.emplace_back(b, en);
+                if (config_.trackSharedCopies) sharerScratch.emplace_back(b, en);
               }
             });
         // Record the new replicas outside the query traversal (addSharer
         // mutates the tracker).
-        for (const auto& [b, en] : sharerScratch_)
+        for (const auto& [b, en] : sharerScratch)
           vb->tracker_.addSharer(b, en, gpu);
-        sharerScratch_.clear();
+        sharerScratch.clear();
       };
       if (plan != nullptr) {
         // Replay the memoized ranges against the live tracker.
@@ -317,6 +338,303 @@ void Runtime::updateTrackers(KernelEntry& ke, const LaunchConfig& cfg,
   stats_.resolutionWallSeconds += wallSeconds(t0);
 }
 
+// ---------------------------------------------------------------------------
+// Parallel resolution engine (RuntimeConfig::resolutionThreads > 0).
+//
+// The serial paper loop above interleaves three kinds of work per
+// (GPU partition, array) pair: pure polyhedral enumeration, tracker
+// queries/updates, and machine-model bookkeeping (transfers + modeled host
+// cost).  The engine splits them into three phases:
+//
+//   1. acquirePlans      — all missing (gpu, enumerator) materializations run
+//                          concurrently (Enumerator::materialize is const and
+//                          touches no shared state); the plan cache itself is
+//                          only mutated on this thread, with the serial
+//                          hit/miss/eviction accounting replayed verbatim.
+//   2. sharded trackers  — one task per destination VirtualBuffer executes
+//                          that buffer's work items in the canonical
+//                          (gpu, enumerator, range) order.  Trackers of
+//                          different buffers are independent, and the serial
+//                          loop's tracker operations restricted to one buffer
+//                          occur in exactly this order, so every tracker
+//                          reaches a byte-identical state without locks.
+//   3. ordered commit    — transfer decisions and modeled costs collected by
+//                          the tasks are replayed into sim::Machine in the
+//                          canonical serial order, so engine reservations,
+//                          floating-point cost accumulation, MachineStats,
+//                          and RuntimeStats are byte-identical as well.
+// ---------------------------------------------------------------------------
+
+void Runtime::runResolutionTasks(i64 n, const std::function<void(i64)>& body) {
+  if (n <= 0) return;
+  auto t0 = std::chrono::steady_clock::now();
+  pool_->parallelFor(n, body);
+  stats_.resolutionTasks += n;
+  stats_.parallelWallSeconds += wallSeconds(t0);
+}
+
+std::vector<Runtime::PlanAcquisition> Runtime::acquirePlans(
+    KernelEntry& ke, const LaunchConfig& cfg, std::span<const i64> scalars) {
+  std::vector<PlanAcquisition> acqs;
+  for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
+    GridPartition gp = partitionFor(*ke.model, cfg.grid, gpu);
+    if (gp.blockCount() == 0) continue;
+    acqs.push_back(
+        PlanAcquisition{gpu, PartitionTuple::fromBlocks(gp, cfg.block), nullptr,
+                        false});
+  }
+  const std::size_t numEnums = ke.enumerators.size();
+
+  if (!config_.enableEnumerationCache) {
+    // Cache off: the paper's runtime re-enumerates every launch.  The
+    // enumeration is still materialized (concurrently) into pass-local plans
+    // so the tracker phase can replay it; the recorded ranges are exactly
+    // what a live enumerate() call would have emitted.
+    std::vector<std::shared_ptr<LaunchPlan>> fresh(acqs.size());
+    for (auto& p : fresh) p = std::make_shared<LaunchPlan>(numEnums);
+    runResolutionTasks(
+        static_cast<i64>(acqs.size() * numEnums), [&](i64 t) {
+          const std::size_t ai = static_cast<std::size_t>(t) / numEnums;
+          const std::size_t ei = static_cast<std::size_t>(t) % numEnums;
+          (*fresh[ai])[ei] =
+              ke.enumerators[ei].materialize(acqs[ai].tuple, cfg, scalars);
+        });
+    for (std::size_t ai = 0; ai < acqs.size(); ++ai)
+      acqs[ai].plan = std::move(fresh[ai]);
+    return acqs;
+  }
+
+  // Cache on: materialize only the keys that will miss at commit time.  A
+  // key present now can still miss later — the FIFO may evict it while
+  // earlier partitions of this very pass insert theirs — so the commit's
+  // hit/miss sequence is predicted by simulating the FIFO against a copy of
+  // the cache's key set.  Tasks write into pre-allocated pass-local plans;
+  // the cache itself is never touched off this thread (single-producer, no
+  // mutex).
+  std::vector<codegen::EnumerationKey> keys;
+  keys.reserve(acqs.size());
+  for (const PlanAcquisition& a : acqs)
+    keys.push_back(codegen::EnumerationKey::of(a.tuple, cfg, scalars));
+  const i64 cap = config_.enumerationCachePlansPerKernel;
+  std::deque<codegen::EnumerationKey> simOrder = ke.planCacheOrder;
+  std::unordered_set<codegen::EnumerationKey, codegen::EnumerationKeyHash>
+      simPresent(simOrder.begin(), simOrder.end());
+  std::vector<std::size_t> missing;  // acq indices with unique missing keys
+  for (std::size_t ai = 0; ai < acqs.size(); ++ai) {
+    if (simPresent.count(keys[ai]) != 0) continue;  // will hit at commit time
+    bool dup = false;
+    for (std::size_t mj : missing)
+      if (keys[mj] == keys[ai]) {
+        dup = true;
+        break;
+      }
+    if (!dup) missing.push_back(ai);
+    if (cap > 0 && static_cast<i64>(simPresent.size()) >= cap) {
+      simPresent.erase(simOrder.front());
+      simOrder.pop_front();
+    }
+    simPresent.insert(keys[ai]);
+    simOrder.push_back(keys[ai]);
+  }
+  std::vector<std::shared_ptr<LaunchPlan>> built(missing.size());
+  for (auto& p : built) p = std::make_shared<LaunchPlan>(numEnums);
+  runResolutionTasks(
+      static_cast<i64>(missing.size() * numEnums), [&](i64 t) {
+        const std::size_t mi = static_cast<std::size_t>(t) / numEnums;
+        const std::size_t ei = static_cast<std::size_t>(t) % numEnums;
+        (*built[mi])[ei] = ke.enumerators[ei].materialize(
+            acqs[missing[mi]].tuple, cfg, scalars);
+      });
+
+  // Commit in canonical GPU order, replaying resolvePlan's counter and FIFO
+  // semantics exactly (including eviction thrash when the capacity is
+  // smaller than the partitions of one launch).
+  for (std::size_t ai = 0; ai < acqs.size(); ++ai) {
+    auto it = ke.planCache.find(keys[ai]);
+    if (it != ke.planCache.end()) {
+      ++stats_.enumCacheHits;
+      acqs[ai].cached = true;
+      acqs[ai].plan = it->second;
+      continue;
+    }
+    ++stats_.enumCacheMisses;
+    if (cap > 0 && static_cast<i64>(ke.planCache.size()) >= cap) {
+      ke.planCache.erase(ke.planCacheOrder.front());
+      ke.planCacheOrder.pop_front();
+      ++stats_.enumCacheEvictions;
+    }
+    std::shared_ptr<const LaunchPlan> plan;
+    for (std::size_t mi = 0; mi < missing.size(); ++mi)
+      if (keys[missing[mi]] == keys[ai]) {
+        plan = built[mi];
+        break;
+      }
+    PP_ASSERT_MSG(plan != nullptr, "missed key was not materialized");
+    auto [pos, inserted] = ke.planCache.emplace(keys[ai], std::move(plan));
+    PP_ASSERT(inserted);
+    ke.planCacheOrder.push_back(pos->first);
+    acqs[ai].plan = pos->second;
+    acqs[ai].cached = false;
+  }
+  return acqs;
+}
+
+namespace {
+
+/// Work items of one resolution pass grouped by destination buffer: shard s
+/// owns every (acquisition, enumerator) pair that touches buffers[s], in
+/// canonical order.
+struct BufferShards {
+  std::vector<VirtualBuffer*> buffers;
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> items;
+};
+
+BufferShards shardByBuffer(const std::vector<Enumerator>& enumerators,
+                           std::span<const LaunchArg> args, std::size_t numAcqs,
+                           bool writes) {
+  BufferShards shards;
+  std::unordered_map<VirtualBuffer*, std::size_t> index;
+  for (std::size_t ai = 0; ai < numAcqs; ++ai) {
+    for (std::size_t ei = 0; ei < enumerators.size(); ++ei) {
+      if (enumerators[ei].isWrite() != writes) continue;
+      VirtualBuffer* vb = args[enumerators[ei].argIndex()].buffer;
+      PP_ASSERT(vb != nullptr);
+      auto [it, fresh] = index.try_emplace(vb, shards.buffers.size());
+      if (fresh) {
+        shards.buffers.push_back(vb);
+        shards.items.emplace_back();
+      }
+      shards.items[it->second].emplace_back(ai, ei);
+    }
+  }
+  return shards;
+}
+
+}  // namespace
+
+void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
+                                       std::span<const LaunchArg> args,
+                                       std::span<const i64> scalars) {
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<PlanAcquisition> acqs = acquirePlans(ke, cfg, scalars);
+  const std::size_t numEnums = ke.enumerators.size();
+
+  struct Transfer {
+    i64 begin = 0;
+    i64 end = 0;
+    Owner owner = kOwnerUndefined;
+  };
+  struct EnumResolution {
+    i64 segments = 0;
+    i64 sharedHits = 0;
+    std::vector<Transfer> transfers;
+  };
+  std::vector<EnumResolution> results(acqs.size() * numEnums);
+
+  BufferShards shards =
+      shardByBuffer(ke.enumerators, args, acqs.size(), /*writes=*/false);
+  runResolutionTasks(static_cast<i64>(shards.buffers.size()), [&](i64 s) {
+    VirtualBuffer* vb = shards.buffers[static_cast<std::size_t>(s)];
+    std::vector<std::pair<i64, i64>> sharerScratch;  // task-local
+    for (const auto& [ai, ei] : shards.items[static_cast<std::size_t>(s)]) {
+      const PlanAcquisition& a = acqs[ai];
+      const codegen::MaterializedRanges& mr = (*a.plan)[ei];
+      EnumResolution& r = results[ai * numEnums + ei];
+      const int gpu = a.gpu;
+      for (const auto& [elemB, elemE] : mr.ranges) {
+        vb->tracker_.querySharers(
+            elemB * kElemBytes, elemE * kElemBytes,
+            [&](i64 b, i64 en, Owner owner, u64 sharers) {
+              ++r.segments;
+              if (owner == gpu || owner < 0) return;  // up to date / undefined
+              if (config_.trackSharedCopies && gpu < 64 &&
+                  (sharers & (u64{1} << gpu)) != 0) {
+                ++r.sharedHits;  // replica already valid here
+                return;
+              }
+              if (config_.enableTransfers) {
+                r.transfers.push_back(Transfer{b, en, owner});
+                if (config_.trackSharedCopies) sharerScratch.emplace_back(b, en);
+              }
+            });
+        // Record the new replicas outside the query traversal (addSharer
+        // mutates the tracker).
+        for (const auto& [b, en] : sharerScratch)
+          vb->tracker_.addSharer(b, en, gpu);
+        sharerScratch.clear();
+      }
+    }
+  });
+
+  // Ordered commit: identical machine-call and stats sequence as the serial
+  // loop — (gpu ascending, enumerator ascending, transfers in decision
+  // order, then the modeled per-array cost).
+  for (std::size_t ai = 0; ai < acqs.size(); ++ai) {
+    const PlanAcquisition& a = acqs[ai];
+    for (std::size_t ei = 0; ei < numEnums; ++ei) {
+      const Enumerator& e = ke.enumerators[ei];
+      if (e.isWrite()) continue;
+      VirtualBuffer* vb = args[e.argIndex()].buffer;
+      const EnumResolution& r = results[ai * numEnums + ei];
+      for (const Transfer& t : r.transfers) {
+        machine_->copyPeer(vb->instances_[static_cast<std::size_t>(a.gpu)],
+                           t.begin,
+                           vb->instances_[static_cast<std::size_t>(t.owner)],
+                           t.begin, t.end - t.begin);
+        ++stats_.peerCopies;
+      }
+      stats_.sharedCopyHits += r.sharedHits;
+      const codegen::EnumInfo& info = (*a.plan)[ei].info;
+      stats_.rangesResolved += info.ranges;
+      stats_.logicalRowsResolved += info.logicalRows;
+      stats_.trackerSegmentsVisited += r.segments;
+      double rowCost = a.cached ? config_.cachedResolutionCostPerRow
+                                : config_.resolutionCostPerRow;
+      double perRow = rowCost + (config_.enableTransfers
+                                     ? config_.transferIssueCostPerRow
+                                     : 0);
+      machine_->advanceHost(
+          config_.resolutionCostPerArray +
+          perRow * static_cast<double>(info.logicalRows + r.segments));
+    }
+  }
+  stats_.resolutionWallSeconds += wallSeconds(t0);
+}
+
+void Runtime::updateTrackersParallel(KernelEntry& ke, const LaunchConfig& cfg,
+                                     std::span<const LaunchArg> args,
+                                     std::span<const i64> scalars) {
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<PlanAcquisition> acqs = acquirePlans(ke, cfg, scalars);
+  const std::size_t numEnums = ke.enumerators.size();
+
+  BufferShards shards =
+      shardByBuffer(ke.enumerators, args, acqs.size(), /*writes=*/true);
+  runResolutionTasks(static_cast<i64>(shards.buffers.size()), [&](i64 s) {
+    VirtualBuffer* vb = shards.buffers[static_cast<std::size_t>(s)];
+    for (const auto& [ai, ei] : shards.items[static_cast<std::size_t>(s)]) {
+      const PlanAcquisition& a = acqs[ai];
+      for (const auto& [elemB, elemE] : (*a.plan)[ei].ranges)
+        vb->tracker_.update(elemB * kElemBytes, elemE * kElemBytes, a.gpu);
+    }
+  });
+
+  for (std::size_t ai = 0; ai < acqs.size(); ++ai) {
+    const PlanAcquisition& a = acqs[ai];
+    for (std::size_t ei = 0; ei < numEnums; ++ei) {
+      if (!ke.enumerators[ei].isWrite()) continue;
+      const codegen::EnumInfo& info = (*a.plan)[ei].info;
+      stats_.rangesResolved += info.ranges;
+      stats_.logicalRowsResolved += info.logicalRows;
+      double rowCost = a.cached ? config_.cachedResolutionCostPerRow
+                                : config_.resolutionCostPerRow;
+      machine_->advanceHost(config_.resolutionCostPerArray +
+                            rowCost * static_cast<double>(info.logicalRows));
+    }
+  }
+  stats_.resolutionWallSeconds += wallSeconds(t0);
+}
+
 void Runtime::launch(const std::string& kernelName, const Dim3& grid,
                      const Dim3& block, std::span<const LaunchArg> args) {
   KernelEntry& ke = entry(kernelName);
@@ -354,7 +672,10 @@ void Runtime::launch(const std::string& kernelName, const Dim3& grid,
   // then barriers again (all_devs_synchronize in Fig. 4).
   if (config_.enableDependencyResolution) {
     machine_->synchronizeAll();
-    synchronizeReads(ke, cfg, args, scalars);
+    if (pool_)
+      synchronizeReadsParallel(ke, cfg, args, scalars);
+    else
+      synchronizeReads(ke, cfg, args, scalars);
     machine_->synchronizeAll();
   }
 
@@ -457,8 +778,12 @@ void Runtime::launch(const std::string& kernelName, const Dim3& grid,
 
   // (4) Update the trackers for all writes (Fig. 4, third loop); this runs
   // concurrently with the asynchronous kernels (host-side only).
-  if (config_.enableDependencyResolution)
-    updateTrackers(ke, cfg, args, scalars);
+  if (config_.enableDependencyResolution) {
+    if (pool_)
+      updateTrackersParallel(ke, cfg, args, scalars);
+    else
+      updateTrackers(ke, cfg, args, scalars);
+  }
 }
 
 }  // namespace polypart::rt

@@ -18,9 +18,17 @@
 // The configuration carries the α/β/γ switches of the overhead analysis
 // (Section 9.2): disable transfers, or disable dependency resolution
 // entirely.
+//
+// Beyond the paper, RuntimeConfig::resolutionThreads enables a host-side
+// parallel resolution engine (see DESIGN.md "Parallel dependency-resolution
+// engine"): plan materialization fans out over (GPU, enumerator) pairs,
+// tracker work is sharded per destination buffer, and transfer decisions are
+// replayed into the machine model in the canonical serial order, keeping
+// results and modeled timing byte-identical with threads on or off.
 
 #include <chrono>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -32,6 +40,10 @@
 #include "ir/transform.h"
 #include "rt/tracker.h"
 #include "sim/machine.h"
+
+namespace polypart::support {
+class ThreadPool;
+}
 
 namespace polypart::rt {
 
@@ -95,6 +107,14 @@ struct RuntimeConfig {
   double transferIssueCostPerRow = 35e-9;
   /// Fixed modeled host cost per (array, partition) resolution step.
   double resolutionCostPerArray = 2e-6;
+  /// Worker threads for the host-side parallel resolution engine.  0 keeps
+  /// the paper's serial loop over every (GPU partition, array) pair
+  /// (Section 8.3); N > 0 runs a three-phase engine on an N-thread pool:
+  /// parallel plan materialization, per-buffer sharded tracker phases, and a
+  /// deterministic ordered commit into the machine model.  Results, modeled
+  /// timing, and RuntimeStats (minus the wall-clock/task meta-counters) are
+  /// byte-identical for every value of this knob.
+  int resolutionThreads = 0;
   /// Slowdown factor applied to kernels whose write patterns must be
   /// collected by instrumentation (paper Section 11 future work; dynamic
   /// collection "yields accurate results at the expense of significant
@@ -140,7 +160,16 @@ struct RuntimeStats {
   i64 enumCacheHits = 0;       // launch plans replayed from the cache
   i64 enumCacheMisses = 0;     // launch plans materialized by enumeration
   i64 enumCacheEvictions = 0;  // plans dropped by the bounded-size FIFO
+  // Engine meta-counters.  These describe *how* the resolution executed, not
+  // what it computed: wall-clock fields are nondeterministic by nature and
+  // resolutionTasks is 0 in serial mode, so the determinism guarantee of
+  // RuntimeConfig::resolutionThreads covers every field above this line and
+  // excludes the three below (tests/parallel_resolution_test.cpp).
+  i64 resolutionTasks = 0;           // tasks executed by the parallel engine
   double resolutionWallSeconds = 0;  // real host time spent resolving
+  double parallelWallSeconds = 0;    // real time inside parallel phases
+
+  bool operator==(const RuntimeStats&) const = default;
 };
 
 class Runtime {
@@ -195,11 +224,23 @@ class Runtime {
     ir::KernelPtr partitioned;
     std::vector<codegen::Enumerator> enumerators;
     /// Enumeration cache (one plan per launch configuration seen, FIFO
-    /// bounded by RuntimeConfig::enumerationCachePlansPerKernel).
-    std::unordered_map<codegen::EnumerationKey, LaunchPlan,
+    /// bounded by RuntimeConfig::enumerationCachePlansPerKernel).  Plans are
+    /// held by shared_ptr so the parallel engine can keep using an acquired
+    /// plan after a later insertion of the same pass evicts it.
+    std::unordered_map<codegen::EnumerationKey, std::shared_ptr<const LaunchPlan>,
                        codegen::EnumerationKeyHash>
         planCache;
     std::deque<codegen::EnumerationKey> planCacheOrder;
+  };
+
+  /// One GPU partition's launch plan for the current pass: the materialized
+  /// enumerator output (owned by the cache, or pass-local when the cache is
+  /// off) plus whether it was replayed (cache hit → cheaper modeled cost).
+  struct PlanAcquisition {
+    int gpu = 0;
+    codegen::PartitionTuple tuple;
+    std::shared_ptr<const LaunchPlan> plan;
+    bool cached = false;
   };
 
   const KernelEntry& entry(const std::string& name) const;
@@ -218,14 +259,35 @@ class Runtime {
                       std::span<const LaunchArg> args,
                       std::span<const i64> scalars);
 
+  // -- parallel resolution engine (RuntimeConfig::resolutionThreads > 0) -----
+  /// Phase 1: acquires one launch plan per non-empty GPU partition,
+  /// materializing cache misses concurrently on the pool (pure work) and
+  /// committing them to the plan cache single-producer on this thread with
+  /// the exact hit/miss/eviction accounting of the serial resolvePlan path.
+  std::vector<PlanAcquisition> acquirePlans(KernelEntry& ke,
+                                            const ir::LaunchConfig& cfg,
+                                            std::span<const i64> scalars);
+  /// Phases 2+3 for the read sets: per-buffer sharded tracker queries with
+  /// task-local sharer scratch, then a deterministic ordered commit of the
+  /// collected transfer decisions into the machine model.
+  void synchronizeReadsParallel(KernelEntry& ke, const ir::LaunchConfig& cfg,
+                                std::span<const LaunchArg> args,
+                                std::span<const i64> scalars);
+  /// Phases 2+3 for the write sets: per-buffer sharded tracker updates, then
+  /// the ordered commit of the modeled bookkeeping costs.
+  void updateTrackersParallel(KernelEntry& ke, const ir::LaunchConfig& cfg,
+                              std::span<const LaunchArg> args,
+                              std::span<const i64> scalars);
+  /// Runs `n` tasks on the pool and accounts them in RuntimeStats.
+  void runResolutionTasks(i64 n, const std::function<void(i64)>& body);
+
   RuntimeConfig config_;
   analysis::ApplicationModel model_;
   std::unique_ptr<sim::Machine> machine_;
+  std::unique_ptr<support::ThreadPool> pool_;  // null in serial paper mode
   std::map<std::string, KernelEntry> kernels_;
   std::vector<std::unique_ptr<VirtualBuffer>> buffers_;
   RuntimeStats stats_;
-  /// Scratch for shared-copy bookkeeping during read synchronization.
-  std::vector<std::pair<i64, i64>> sharerScratch_;
 };
 
 }  // namespace polypart::rt

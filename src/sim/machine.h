@@ -66,6 +66,11 @@ struct MachineStats {
   double bytesPeerToPeer = 0;
   double kernelBusySeconds = 0;    // summed across devices
   double transferBusySeconds = 0;  // summed across engines
+
+  /// Field-wise equality (doubles compared exactly): two runs match only
+  /// when their operation sequences were identical, which is what the
+  /// runtime's determinism tests assert.
+  bool operator==(const MachineStats&) const = default;
 };
 
 class Machine {

@@ -1,0 +1,93 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+
+#include "support/error.h"
+
+namespace polypart::support {
+
+ThreadPool::ThreadPool(int numThreads) {
+  if (numThreads < 1) numThreads = 1;
+  workers_.reserve(static_cast<std::size_t>(numThreads));
+  for (int i = 0; i < numThreads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PP_ASSERT_MSG(!stop_, "enqueue on a stopped thread pool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and the queue has drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallelFor(i64 n, const std::function<void(i64)>& body) {
+  if (n <= 0) return;
+  // One claiming job per worker; each job pulls indices off the shared
+  // counter until the range (or an exception) exhausts it.  The caller
+  // blocks until every job has exited, so `shared` outliving the stack frame
+  // via shared_ptr is belt-and-braces for early unwinds only.
+  struct Shared {
+    std::atomic<i64> next{0};
+    i64 n = 0;
+    const std::function<void(i64)>* body = nullptr;
+    std::mutex m;
+    std::condition_variable done;
+    int jobsLeft = 0;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->n = n;
+  shared->body = &body;
+  const int jobs = static_cast<int>(std::min<i64>(n, size()));
+  shared->jobsLeft = jobs;
+  for (int j = 0; j < jobs; ++j) {
+    enqueue([shared] {
+      for (;;) {
+        i64 i = shared->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= shared->n) break;
+        try {
+          (*shared->body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(shared->m);
+          if (!shared->error) shared->error = std::current_exception();
+          // Abandon unclaimed indices: callers treat parallelFor as one
+          // all-or-nothing step.
+          shared->next.store(shared->n, std::memory_order_relaxed);
+          break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(shared->m);
+      if (--shared->jobsLeft == 0) shared->done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(shared->m);
+  shared->done.wait(lock, [&] { return shared->jobsLeft == 0; });
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace polypart::support

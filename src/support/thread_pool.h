@@ -1,0 +1,70 @@
+#pragma once
+
+// A small fixed-size worker pool for host-side parallelism.
+//
+// The runtime's dependency-resolution engine (rt/runtime.cpp) fans the pure
+// polyhedral enumeration and the per-buffer tracker phases out to this pool.
+// Determinism over there comes from the task decomposition and the ordered
+// commit, not from the pool: the pool itself is a plain work queue with no
+// ordering guarantee beyond "parallelFor/submit complete before returning".
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "support/arith.h"
+
+namespace polypart::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `numThreads` workers (clamped to at least 1).
+  explicit ThreadPool(int numThreads);
+  /// Drains nothing: outstanding queued tasks still run to completion, then
+  /// the workers exit and are joined.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a fire-and-forget task.
+  void enqueue(std::function<void()> task);
+
+  /// Enqueues `f` and returns a future for its result (exceptions propagate
+  /// through the future).
+  template <typename F>
+  auto submit(F f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Runs body(0) .. body(n-1) across the workers and blocks until every
+  /// index has completed.  Indices are claimed dynamically off a shared
+  /// counter (good load balance for irregular task costs).  If any body
+  /// throws, remaining unclaimed indices are abandoned and the first
+  /// exception is rethrown in the caller.  Must not be called from a worker
+  /// thread (a nested call could deadlock a fully busy pool).
+  void parallelFor(i64 n, const std::function<void(i64)>& body);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace polypart::support

@@ -1,0 +1,82 @@
+// Unit tests for support::ThreadPool, the worker pool behind the runtime's
+// parallel resolution engine.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace polypart::support {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int workers : {1, 2, 4}) {
+    ThreadPool pool(workers);
+    const i64 n = 1000;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    pool.parallelFor(n, [&](i64 i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << workers << " workers";
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndSmallRanges) {
+  ThreadPool pool(4);
+  pool.parallelFor(0, [&](i64) { FAIL() << "body called for n == 0"; });
+  std::atomic<i64> sum{0};
+  pool.parallelFor(1, [&](i64 i) { sum += i + 7; });
+  EXPECT_EQ(sum.load(), 7);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallelFor(100,
+                       [&](i64 i) {
+                         ran.fetch_add(1);
+                         if (i == 3) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The failing index ran; unclaimed indices may have been abandoned.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 100);
+  // The pool is still usable afterwards.
+  std::atomic<i64> sum{0};
+  pool.parallelFor(10, [&](i64 i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureWithResultAndException) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+  auto bad = pool.submit([]() -> int { throw std::logic_error("nope"); });
+  EXPECT_THROW(bad.get(), std::logic_error);
+}
+
+TEST(ThreadPool, SizeClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<i64> sum{0};
+  pool.parallelFor(5, [&](i64 i) { sum += i; });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i)
+      pool.enqueue([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }  // ~ThreadPool joins after the queue drains
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace
+}  // namespace polypart::support

@@ -19,8 +19,17 @@
 #include "apps/kernels.h"
 #include "apps/workloads.h"
 #include "rt/runtime.h"
+#include "support/trace.h"
 
 namespace polypart::benchutil {
+
+/// Process-wide POLYPART_TRACE hook: null unless the environment variable is
+/// set, in which case the trace of every partitioned run is written to the
+/// given path (and the phase-breakdown summary printed) at process exit.
+inline trace::Tracer* envTracer() {
+  static trace::EnvTraceSession session;
+  return session.tracer();
+}
 
 /// Cached device module + application model (the analysis runs once per
 /// process).
@@ -53,6 +62,7 @@ inline RunResult runPartitioned(apps::Benchmark b, i64 n, int iters, int gpus,
   // cache (an extension) stays off here.  bench/cache_repeat_launch measures
   // the cache itself.
   cfg.enableEnumerationCache = false;
+  cfg.tracer = envTracer();
   rt::Runtime rt(cfg, model(), module());
   switch (b) {
     case apps::Benchmark::Hotspot:

@@ -16,15 +16,23 @@
 #include "apps/kernels.h"
 #include "apps/reference.h"
 #include "support/rng.h"
+#include "support/trace.h"
 
 using namespace polypart;
 
 namespace {
 
+/// POLYPART_TRACE=<path> records a Chrome trace of every run in the example.
+trace::EnvTraceSession& traceSession() {
+  static trace::EnvTraceSession session;
+  return session;
+}
+
 std::unique_ptr<rt::Runtime> makeRuntime(int gpus, sim::ExecutionMode mode) {
   rt::RuntimeConfig cfg;
   cfg.numGpus = gpus;
   cfg.mode = mode;
+  cfg.tracer = traceSession().tracer();
   static ir::Module mod = apps::buildBenchmarkModule();
   static analysis::ApplicationModel model = analysis::analyzeModule(mod);
   return std::make_unique<rt::Runtime>(cfg, model, mod);

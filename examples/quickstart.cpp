@@ -13,6 +13,7 @@
 
 #include "apps/kernels.h"
 #include "rt/cuda_api.h"
+#include "support/trace.h"
 #include "tool/compiler.h"
 
 using namespace polypart;
@@ -58,9 +59,12 @@ int main() {
                 a.hasWrites() ? "yes" : "no", a.write.exact() ? "yes" : "n/a");
 
   // -- Run on 4 simulated GPUs ---------------------------------------------------
+  // Set POLYPART_TRACE=<path> to record a Chrome trace of the run.
+  trace::EnvTraceSession traceSession;
   rt::RuntimeConfig cfg;
   cfg.numGpus = 4;
   cfg.mode = sim::ExecutionMode::Functional;
+  cfg.tracer = traceSession.tracer();
   std::unique_ptr<rt::Runtime> runtime = app.makeRuntime(cfg);
   rt::ScopedGpartRuntime scope(*runtime);
 

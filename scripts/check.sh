@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# One-command CI gate: tier-1 build + full ctest, an ASan+UBSan configuration,
+# and a TSan configuration covering the parallel resolution engine — the same
+# recipes .claude/skills/verify/SKILL.md documents, run back to back.
+#
+#   scripts/check.sh            # everything (tier-1, asan, tsan)
+#   scripts/check.sh tier1      # just the default build + full test suite
+#   scripts/check.sh asan tsan  # just the sanitizer configurations
+#
+# Each configuration uses its own build tree (build/, build-asan/, build-tsan/;
+# all gitignored).  TSan cannot be combined with ASan in one tree — the
+# top-level CMakeLists enforces that — hence the separate configurations.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+stages=("$@")
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan)
+
+run() {
+  echo
+  echo "== $* =="
+  "$@"
+}
+
+for stage in "${stages[@]}"; do
+  case "$stage" in
+    tier1)
+      # The seed's build/ tree uses Unix Makefiles; never pass -G here.
+      run cmake -B build -S .
+      run cmake --build build -j "$jobs"
+      run ctest --test-dir build -j "$jobs" --output-on-failure
+      # Fastest end-to-end smoke of the whole pipeline, with tracing live:
+      # quickstart self-verifies and the exported trace must be parseable
+      # (the trace_test suite parses it properly; this just proves the env
+      # hook writes a file).
+      trace_out=$(mktemp /tmp/polypart-trace.XXXXXX.json)
+      run env POLYPART_TRACE="$trace_out" ./build/examples/quickstart
+      [ -s "$trace_out" ] || { echo "POLYPART_TRACE wrote no trace"; exit 1; }
+      rm -f "$trace_out"
+      ;;
+    asan)
+      run cmake -B build-asan -S . -DPOLYPART_SANITIZE=address,undefined
+      run cmake --build build-asan -j "$jobs"
+      run ctest --test-dir build-asan -j "$jobs" --output-on-failure
+      ;;
+    tsan)
+      run cmake -B build-tsan -S . -DPOLYPART_SANITIZE=thread
+      run cmake --build build-tsan -j "$jobs"
+      # The thread-sensitive suites (pool, parallel engine, runtime, cache,
+      # tracker, tracer) — the full suite under TSan is needlessly slow.
+      run ctest --test-dir build-tsan -j "$jobs" --output-on-failure \
+        -R 'ThreadPool|ParallelResolution|Runtime|EnumCache|Tracker|Trace'
+      ;;
+    *)
+      echo "unknown stage '$stage' (expected: tier1, asan, tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo
+echo "check.sh: all stages passed (${stages[*]})"

@@ -9,6 +9,7 @@
 
 #include "support/error.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace polypart::rt {
 
@@ -33,6 +34,27 @@ double wallSeconds(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
+class Runtime::ResolutionTimer {
+ public:
+  explicit ResolutionTimer(Runtime& rt)
+      : rt_(rt), t0_(std::chrono::steady_clock::now()) {
+    PP_ASSERT_MSG(!rt_.resolutionTimerActive_,
+                  "overlapping resolution wall-time windows");
+    rt_.resolutionTimerActive_ = true;
+  }
+  ~ResolutionTimer() {
+    rt_.resolutionTimerActive_ = false;
+    rt_.stats_.resolutionWallSeconds += wallSeconds(t0_);
+  }
+
+  ResolutionTimer(const ResolutionTimer&) = delete;
+  ResolutionTimer& operator=(const ResolutionTimer&) = delete;
+
+ private:
+  Runtime& rt_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
 Runtime::Runtime(RuntimeConfig config, analysis::ApplicationModel model,
                  const ir::Module& kernels)
     : config_(config), model_(std::move(model)) {
@@ -40,6 +62,8 @@ Runtime::Runtime(RuntimeConfig config, analysis::ApplicationModel model,
   machine_ = std::make_unique<sim::Machine>(config_.machine, config_.mode);
   if (config_.resolutionThreads > 0)
     pool_ = std::make_unique<support::ThreadPool>(config_.resolutionThreads);
+  machine_->setTracer(config_.tracer);
+  if (pool_) pool_->setTracer(config_.tracer);
 
   // Per-kernel partitioning (Section 7) and enumerator generation
   // (Section 6) are independent across kernels; with a pool they build
@@ -91,15 +115,24 @@ const Runtime::LaunchPlan* Runtime::resolvePlan(KernelEntry& ke,
   if (it != ke.planCache.end()) {
     wasHit = true;
     ++stats_.enumCacheHits;
+    trace::instant(config_.tracer, "cache", "plan-hit");
+    trace::counter(config_.tracer, "cache", "plan-cache-hits",
+                   stats_.enumCacheHits);
     return it->second.get();
   }
   wasHit = false;
   ++stats_.enumCacheMisses;
+  trace::instant(config_.tracer, "cache", "plan-miss");
+  trace::counter(config_.tracer, "cache", "plan-cache-misses",
+                 stats_.enumCacheMisses);
   const i64 cap = config_.enumerationCachePlansPerKernel;
   if (cap > 0 && static_cast<i64>(ke.planCache.size()) >= cap) {
     ke.planCache.erase(ke.planCacheOrder.front());
     ke.planCacheOrder.pop_front();
     ++stats_.enumCacheEvictions;
+    trace::instant(config_.tracer, "cache", "plan-evict");
+    trace::counter(config_.tracer, "cache", "plan-cache-evictions",
+                   stats_.enumCacheEvictions);
   }
   auto plan = std::make_shared<LaunchPlan>();
   plan->reserve(ke.enumerators.size());
@@ -127,18 +160,26 @@ VirtualBuffer* Runtime::malloc(i64 bytes) {
 }
 
 void Runtime::free(VirtualBuffer* buf) {
+  PP_ASSERT_MSG(buf != nullptr, "free of null virtual buffer");
   for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
     if (it->get() == buf) {
       for (const sim::DevBuffer& b : buf->instances_) machine_->free(b);
+      freedBuffers_.push_back(buf);
       buffers_.erase(it);
       return;
     }
   }
-  PP_ASSERT_MSG(false, "free of unknown virtual buffer");
+  // Not live: diagnose which contract was broken before dying.
+  PP_ASSERT_MSG(
+      std::find(freedBuffers_.begin(), freedBuffers_.end(), buf) ==
+          freedBuffers_.end(),
+      "double free of virtual buffer");
+  PP_ASSERT_MSG(false, "free of a pointer this runtime never allocated");
 }
 
 void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
   PP_ASSERT(bytes >= 0);
+  trace::Span span(config_.tracer, "runtime", "memcpy", {}, {{"bytes", bytes}});
   switch (kind) {
     case MemcpyKind::HostToHost:
       machine_->chargeApiCall();
@@ -167,6 +208,8 @@ void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
           machine_->copyHostToDevice(vb->instances_[static_cast<std::size_t>(d)], lo,
                                      src ? static_cast<const char*>(src) + lo : nullptr,
                                      hi - lo);
+          trace::instant(config_.tracer, "transfer", "h2d-copy",
+                         {{"dst", d}, {"bytes", hi - lo}});
           vb->tracker_.update(lo, hi, d);
         }
       } else {
@@ -179,6 +222,8 @@ void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
           machine_->copyHostToDevice(vb->instances_[static_cast<std::size_t>(d)], off,
                                      src ? static_cast<const char*>(src) + off : nullptr,
                                      len);
+          trace::instant(config_.tracer, "transfer", "h2d-copy",
+                         {{"dst", d}, {"bytes", len}});
           vb->tracker_.update(off, off + len, d);
           off += len;
           d = (d + 1) % g;
@@ -199,6 +244,8 @@ void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
         machine_->copyDeviceToHost(
             dst ? static_cast<char*>(dst) + b : nullptr,
             vb->instances_[static_cast<std::size_t>(owner)], b, e - b);
+        trace::instant(config_.tracer, "transfer", "d2h-copy",
+                       {{"src", owner}, {"bytes", e - b}});
       });
       machine_->synchronizeAll();
       return;
@@ -235,7 +282,8 @@ GridPartition Runtime::partitionFor(const KernelModel& model, const Dim3& grid,
 void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
                                std::span<const LaunchArg> args,
                                std::span<const i64> scalars) {
-  auto t0 = std::chrono::steady_clock::now();
+  ResolutionTimer timer(*this);
+  trace::Span span(config_.tracer, "runtime", "sync-reads");
   // Shared-copy bookkeeping scratch; call-local so the serial and parallel
   // engines have the same per-task-ownership shape (no cross-call aliasing).
   std::vector<std::pair<i64, i64>> sharerScratch;
@@ -269,6 +317,8 @@ void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
                                    vb->instances_[static_cast<std::size_t>(owner)],
                                    b, en - b);
                 ++stats_.peerCopies;
+                trace::instant(config_.tracer, "transfer", "peer-copy",
+                               {{"src", owner}, {"dst", gpu}, {"bytes", en - b}});
                 if (config_.trackSharedCopies) sharerScratch.emplace_back(b, en);
               }
             });
@@ -293,17 +343,21 @@ void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
           cached ? config_.cachedResolutionCostPerRow : config_.resolutionCostPerRow;
       double perRow = rowCost +
                       (config_.enableTransfers ? config_.transferIssueCostPerRow : 0);
-      machine_->advanceHost(config_.resolutionCostPerArray +
-                            perRow * static_cast<double>(info.logicalRows + segments));
+      double cost = config_.resolutionCostPerArray +
+                    perRow * static_cast<double>(info.logicalRows + segments);
+      double simStart = machine_->now();
+      machine_->advanceHost(cost);
+      trace::simSpan(config_.tracer, "sim.pattern", "resolve-reads",
+                     sim::kSimHostTrack, simStart, cost, {{"gpu", gpu}});
     }
   }
-  stats_.resolutionWallSeconds += wallSeconds(t0);
 }
 
 void Runtime::updateTrackers(KernelEntry& ke, const LaunchConfig& cfg,
                              std::span<const LaunchArg> args,
                              std::span<const i64> scalars) {
-  auto t0 = std::chrono::steady_clock::now();
+  ResolutionTimer timer(*this);
+  trace::Span span(config_.tracer, "runtime", "update-trackers");
   for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
     GridPartition gp = partitionFor(*ke.model, cfg.grid, gpu);
     if (gp.blockCount() == 0) continue;
@@ -331,11 +385,14 @@ void Runtime::updateTrackers(KernelEntry& ke, const LaunchConfig& cfg,
       stats_.logicalRowsResolved += info.logicalRows;
       double rowCost =
           cached ? config_.cachedResolutionCostPerRow : config_.resolutionCostPerRow;
-      machine_->advanceHost(config_.resolutionCostPerArray +
-                            rowCost * static_cast<double>(info.logicalRows));
+      double cost = config_.resolutionCostPerArray +
+                    rowCost * static_cast<double>(info.logicalRows);
+      double simStart = machine_->now();
+      machine_->advanceHost(cost);
+      trace::simSpan(config_.tracer, "sim.pattern", "update-writes",
+                     sim::kSimHostTrack, simStart, cost, {{"gpu", gpu}});
     }
   }
-  stats_.resolutionWallSeconds += wallSeconds(t0);
 }
 
 // ---------------------------------------------------------------------------
@@ -365,8 +422,16 @@ void Runtime::updateTrackers(KernelEntry& ke, const LaunchConfig& cfg,
 //                          and RuntimeStats are byte-identical as well.
 // ---------------------------------------------------------------------------
 
-void Runtime::runResolutionTasks(i64 n, const std::function<void(i64)>& body) {
+void Runtime::runResolutionTasks(const char* label, i64 n,
+                                 const std::function<void(i64)>& body) {
   if (n <= 0) return;
+  // parallelWallSeconds is a sub-window of resolutionWallSeconds (the
+  // fraction of resolution wall time spent inside pool fan-outs), so a
+  // parallel window outside an open resolution window would make the subset
+  // accounting meaningless.
+  PP_ASSERT_MSG(resolutionTimerActive_,
+                "parallel resolution tasks outside a resolution wall-time window");
+  trace::Span span(config_.tracer, "runtime", label, {}, {{"tasks", n}});
   auto t0 = std::chrono::steady_clock::now();
   pool_->parallelFor(n, body);
   stats_.resolutionTasks += n;
@@ -375,6 +440,7 @@ void Runtime::runResolutionTasks(i64 n, const std::function<void(i64)>& body) {
 
 std::vector<Runtime::PlanAcquisition> Runtime::acquirePlans(
     KernelEntry& ke, const LaunchConfig& cfg, std::span<const i64> scalars) {
+  trace::Span span(config_.tracer, "runtime", "phase1:acquire-plans");
   std::vector<PlanAcquisition> acqs;
   for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
     GridPartition gp = partitionFor(*ke.model, cfg.grid, gpu);
@@ -393,7 +459,8 @@ std::vector<Runtime::PlanAcquisition> Runtime::acquirePlans(
     std::vector<std::shared_ptr<LaunchPlan>> fresh(acqs.size());
     for (auto& p : fresh) p = std::make_shared<LaunchPlan>(numEnums);
     runResolutionTasks(
-        static_cast<i64>(acqs.size() * numEnums), [&](i64 t) {
+        "phase1:materialize", static_cast<i64>(acqs.size() * numEnums),
+        [&](i64 t) {
           const std::size_t ai = static_cast<std::size_t>(t) / numEnums;
           const std::size_t ei = static_cast<std::size_t>(t) % numEnums;
           (*fresh[ai])[ei] =
@@ -439,7 +506,8 @@ std::vector<Runtime::PlanAcquisition> Runtime::acquirePlans(
   std::vector<std::shared_ptr<LaunchPlan>> built(missing.size());
   for (auto& p : built) p = std::make_shared<LaunchPlan>(numEnums);
   runResolutionTasks(
-      static_cast<i64>(missing.size() * numEnums), [&](i64 t) {
+      "phase1:materialize", static_cast<i64>(missing.size() * numEnums),
+      [&](i64 t) {
         const std::size_t mi = static_cast<std::size_t>(t) / numEnums;
         const std::size_t ei = static_cast<std::size_t>(t) % numEnums;
         (*built[mi])[ei] = ke.enumerators[ei].materialize(
@@ -453,15 +521,24 @@ std::vector<Runtime::PlanAcquisition> Runtime::acquirePlans(
     auto it = ke.planCache.find(keys[ai]);
     if (it != ke.planCache.end()) {
       ++stats_.enumCacheHits;
+      trace::instant(config_.tracer, "cache", "plan-hit");
+      trace::counter(config_.tracer, "cache", "plan-cache-hits",
+                     stats_.enumCacheHits);
       acqs[ai].cached = true;
       acqs[ai].plan = it->second;
       continue;
     }
     ++stats_.enumCacheMisses;
+    trace::instant(config_.tracer, "cache", "plan-miss");
+    trace::counter(config_.tracer, "cache", "plan-cache-misses",
+                   stats_.enumCacheMisses);
     if (cap > 0 && static_cast<i64>(ke.planCache.size()) >= cap) {
       ke.planCache.erase(ke.planCacheOrder.front());
       ke.planCacheOrder.pop_front();
       ++stats_.enumCacheEvictions;
+      trace::instant(config_.tracer, "cache", "plan-evict");
+      trace::counter(config_.tracer, "cache", "plan-cache-evictions",
+                     stats_.enumCacheEvictions);
     }
     std::shared_ptr<const LaunchPlan> plan;
     for (std::size_t mi = 0; mi < missing.size(); ++mi)
@@ -515,7 +592,8 @@ BufferShards shardByBuffer(const std::vector<Enumerator>& enumerators,
 void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
                                        std::span<const LaunchArg> args,
                                        std::span<const i64> scalars) {
-  auto t0 = std::chrono::steady_clock::now();
+  ResolutionTimer timer(*this);
+  trace::Span span(config_.tracer, "runtime", "sync-reads");
   std::vector<PlanAcquisition> acqs = acquirePlans(ke, cfg, scalars);
   const std::size_t numEnums = ke.enumerators.size();
 
@@ -533,7 +611,8 @@ void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
 
   BufferShards shards =
       shardByBuffer(ke.enumerators, args, acqs.size(), /*writes=*/false);
-  runResolutionTasks(static_cast<i64>(shards.buffers.size()), [&](i64 s) {
+  runResolutionTasks("phase2:tracker-tasks",
+                     static_cast<i64>(shards.buffers.size()), [&](i64 s) {
     VirtualBuffer* vb = shards.buffers[static_cast<std::size_t>(s)];
     std::vector<std::pair<i64, i64>> sharerScratch;  // task-local
     for (const auto& [ai, ei] : shards.items[static_cast<std::size_t>(s)]) {
@@ -569,6 +648,7 @@ void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
   // Ordered commit: identical machine-call and stats sequence as the serial
   // loop — (gpu ascending, enumerator ascending, transfers in decision
   // order, then the modeled per-array cost).
+  trace::Span phase3(config_.tracer, "runtime", "phase3:commit");
   for (std::size_t ai = 0; ai < acqs.size(); ++ai) {
     const PlanAcquisition& a = acqs[ai];
     for (std::size_t ei = 0; ei < numEnums; ++ei) {
@@ -582,6 +662,9 @@ void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
                            vb->instances_[static_cast<std::size_t>(t.owner)],
                            t.begin, t.end - t.begin);
         ++stats_.peerCopies;
+        trace::instant(
+            config_.tracer, "transfer", "peer-copy",
+            {{"src", t.owner}, {"dst", a.gpu}, {"bytes", t.end - t.begin}});
       }
       stats_.sharedCopyHits += r.sharedHits;
       const codegen::EnumInfo& info = (*a.plan)[ei].info;
@@ -593,24 +676,29 @@ void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
       double perRow = rowCost + (config_.enableTransfers
                                      ? config_.transferIssueCostPerRow
                                      : 0);
-      machine_->advanceHost(
+      double cost =
           config_.resolutionCostPerArray +
-          perRow * static_cast<double>(info.logicalRows + r.segments));
+          perRow * static_cast<double>(info.logicalRows + r.segments);
+      double simStart = machine_->now();
+      machine_->advanceHost(cost);
+      trace::simSpan(config_.tracer, "sim.pattern", "resolve-reads",
+                     sim::kSimHostTrack, simStart, cost, {{"gpu", a.gpu}});
     }
   }
-  stats_.resolutionWallSeconds += wallSeconds(t0);
 }
 
 void Runtime::updateTrackersParallel(KernelEntry& ke, const LaunchConfig& cfg,
                                      std::span<const LaunchArg> args,
                                      std::span<const i64> scalars) {
-  auto t0 = std::chrono::steady_clock::now();
+  ResolutionTimer timer(*this);
+  trace::Span span(config_.tracer, "runtime", "update-trackers");
   std::vector<PlanAcquisition> acqs = acquirePlans(ke, cfg, scalars);
   const std::size_t numEnums = ke.enumerators.size();
 
   BufferShards shards =
       shardByBuffer(ke.enumerators, args, acqs.size(), /*writes=*/true);
-  runResolutionTasks(static_cast<i64>(shards.buffers.size()), [&](i64 s) {
+  runResolutionTasks("phase2:tracker-tasks",
+                     static_cast<i64>(shards.buffers.size()), [&](i64 s) {
     VirtualBuffer* vb = shards.buffers[static_cast<std::size_t>(s)];
     for (const auto& [ai, ei] : shards.items[static_cast<std::size_t>(s)]) {
       const PlanAcquisition& a = acqs[ai];
@@ -619,6 +707,7 @@ void Runtime::updateTrackersParallel(KernelEntry& ke, const LaunchConfig& cfg,
     }
   });
 
+  trace::Span phase3(config_.tracer, "runtime", "phase3:commit");
   for (std::size_t ai = 0; ai < acqs.size(); ++ai) {
     const PlanAcquisition& a = acqs[ai];
     for (std::size_t ei = 0; ei < numEnums; ++ei) {
@@ -628,11 +717,14 @@ void Runtime::updateTrackersParallel(KernelEntry& ke, const LaunchConfig& cfg,
       stats_.logicalRowsResolved += info.logicalRows;
       double rowCost = a.cached ? config_.cachedResolutionCostPerRow
                                 : config_.resolutionCostPerRow;
-      machine_->advanceHost(config_.resolutionCostPerArray +
-                            rowCost * static_cast<double>(info.logicalRows));
+      double cost = config_.resolutionCostPerArray +
+                    rowCost * static_cast<double>(info.logicalRows);
+      double simStart = machine_->now();
+      machine_->advanceHost(cost);
+      trace::simSpan(config_.tracer, "sim.pattern", "update-writes",
+                     sim::kSimHostTrack, simStart, cost, {{"gpu", a.gpu}});
     }
   }
-  stats_.resolutionWallSeconds += wallSeconds(t0);
 }
 
 void Runtime::launch(const std::string& kernelName, const Dim3& grid,
@@ -641,6 +733,7 @@ void Runtime::launch(const std::string& kernelName, const Dim3& grid,
   const KernelModel& model = *ke.model;
   PP_ASSERT_MSG(args.size() + 6 == ke.partitioned->numParams(),
                 "kernel argument count mismatch");
+  trace::LaunchScope launchScope(config_.tracer, kernelName);
   ++stats_.launches;
 
   // Validate the model's launch assumptions (axes the kernel ignores).
@@ -695,7 +788,12 @@ void Runtime::launch(const std::string& kernelName, const Dim3& grid,
   // Per instrumented array: (gpu, element range) for conflict detection.
   std::map<std::size_t, std::vector<std::tuple<i64, i64, int>>> observedRanges;
 
-  // (3) Launch each partition on its GPU (Fig. 4, second loop).
+  // (3) Launch each partition on its GPU (Fig. 4, second loop).  The span is
+  // reset before phase (4) so kernel dispatch and tracker update appear as
+  // sibling phases on the timeline.
+  std::optional<trace::Span> launchSpan(std::in_place, config_.tracer,
+                                        "runtime", "launch-kernels:",
+                                        kernelName);
   for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
     GridPartition gp = partitionFor(model, grid, gpu);
     if (gp.blockCount() == 0) continue;
@@ -751,9 +849,13 @@ void Runtime::launch(const std::string& kernelName, const Dim3& grid,
         stats_.rangesResolved += 1;
         i = j + 1;
       }
-      machine_->advanceHost(config_.resolutionCostPerArray +
-                            config_.resolutionCostPerRow *
-                                static_cast<double>(flats.size()));
+      double cost = config_.resolutionCostPerArray +
+                    config_.resolutionCostPerRow *
+                        static_cast<double>(flats.size());
+      double simStart = machine_->now();
+      machine_->advanceHost(cost);
+      trace::simSpan(config_.tracer, "sim.pattern", "instrumented-writes",
+                     sim::kSimHostTrack, simStart, cost, {{"gpu", gpu}});
     }
   }
 
@@ -775,6 +877,8 @@ void Runtime::launch(const std::string& kernelName, const Dim3& grid,
       }
     }
   }
+
+  launchSpan.reset();
 
   // (4) Update the trackers for all writes (Fig. 4, third loop); this runs
   // concurrently with the asynchronous kernels (host-side only).

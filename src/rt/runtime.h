@@ -45,6 +45,10 @@ namespace polypart::support {
 class ThreadPool;
 }
 
+namespace polypart::trace {
+class Tracer;
+}
+
 namespace polypart::rt {
 
 /// Host-to-device distribution pattern (Section 8.2: "data is distributed
@@ -120,6 +124,16 @@ struct RuntimeConfig {
   /// collection "yields accurate results at the expense of significant
   /// runtime overhead").
   double instrumentationSlowdown = 2.0;
+  /// Launch-pipeline tracer (support/trace.h).  When set, the runtime, the
+  /// machine model, and the resolution thread pool record structured events
+  /// — launch/sync/update spans, plan-cache hit/miss/evict, per-transfer
+  /// src/dst/bytes, virtual-time engine spans — exportable as a Chrome
+  /// trace.  Must outlive the Runtime.  Null (the default) disables tracing;
+  /// results, modeled timing, RuntimeStats, and MachineStats are identical
+  /// with tracing on or off (tests/trace_test.cpp).  Examples and benches
+  /// wire this to the POLYPART_TRACE=<path> environment hook
+  /// (trace::EnvTraceSession).
+  trace::Tracer* tracer = nullptr;
 };
 
 /// A "virtual buffer": per-device instances + ownership tracker.
@@ -188,6 +202,10 @@ class Runtime {
 
   // -- CUDA Runtime replacement (Section 8.4) --------------------------------
   VirtualBuffer* malloc(i64 bytes);
+  /// Releases a buffer obtained from malloc().  Freeing the same buffer
+  /// twice, or a pointer this runtime never allocated, is a contract
+  /// violation and raises a diagnosable assertion instead of corrupting the
+  /// buffer table.
   void free(VirtualBuffer* buf);
   /// cudaMemcpy replacement; dst/src are host pointers or VirtualBuffer*
   /// depending on `kind`.  Device-to-device throws (Section 8.2).
@@ -243,6 +261,12 @@ class Runtime {
     bool cached = false;
   };
 
+  /// RAII wall-clock window accumulating into stats_.resolutionWallSeconds.
+  /// Windows must not nest: each launch phase (read sync, tracker update)
+  /// opens exactly one, so a launch's resolution wall time is counted once.
+  /// Nesting would double-count real time and is asserted against.
+  class ResolutionTimer;
+
   const KernelEntry& entry(const std::string& name) const;
   KernelEntry& entry(const std::string& name);
   /// Returns the cached launch plan for one (kernel, partition) pair,
@@ -278,8 +302,10 @@ class Runtime {
   void updateTrackersParallel(KernelEntry& ke, const ir::LaunchConfig& cfg,
                               std::span<const LaunchArg> args,
                               std::span<const i64> scalars);
-  /// Runs `n` tasks on the pool and accounts them in RuntimeStats.
-  void runResolutionTasks(i64 n, const std::function<void(i64)>& body);
+  /// Runs `n` tasks on the pool and accounts them in RuntimeStats; `label`
+  /// names the enclosing trace span (must be a string literal).
+  void runResolutionTasks(const char* label, i64 n,
+                          const std::function<void(i64)>& body);
 
   RuntimeConfig config_;
   analysis::ApplicationModel model_;
@@ -287,7 +313,11 @@ class Runtime {
   std::unique_ptr<support::ThreadPool> pool_;  // null in serial paper mode
   std::map<std::string, KernelEntry> kernels_;
   std::vector<std::unique_ptr<VirtualBuffer>> buffers_;
+  /// Addresses of buffers released through free(): distinguishes a double
+  /// free from a free of a pointer this runtime never allocated.
+  std::vector<const VirtualBuffer*> freedBuffers_;
   RuntimeStats stats_;
+  bool resolutionTimerActive_ = false;  // ResolutionTimer non-overlap guard
 };
 
 }  // namespace polypart::rt

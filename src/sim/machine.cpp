@@ -4,12 +4,25 @@
 #include <cstring>
 
 #include "support/error.h"
+#include "support/trace.h"
 
 namespace polypart::sim {
 
 Machine::Machine(MachineSpec spec, ExecutionMode mode)
     : spec_(spec), mode_(mode), devices_(static_cast<std::size_t>(spec.numDevices)) {
   PP_ASSERT(spec.numDevices >= 1);
+}
+
+void Machine::setTracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer == nullptr) return;
+  tracer->nameSimTrack(kSimHostTrack, "host resolution (modeled)");
+  for (int d = 0; d < spec_.numDevices; ++d) {
+    const std::string dev = "gpu" + std::to_string(d);
+    tracer->nameSimTrack(simComputeTrack(d), dev + " compute");
+    tracer->nameSimTrack(simCopyInTrack(d), dev + " copy-in");
+    tracer->nameSimTrack(simCopyOutTrack(d), dev + " copy-out");
+  }
 }
 
 void Machine::advanceHost(double seconds) {
@@ -112,10 +125,13 @@ void Machine::copyHostToDevice(DevBuffer dst, i64 dstOff, const void* src, i64 b
   Device& d = devices_[static_cast<std::size_t>(dst.device)];
   double mb = modeledBytes(bytes);
   double start = reserveFabric(std::max(hostNow_, d.copyInReady), mb);
-  d.copyInReady = start + spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
-  stats_.transferBusySeconds += spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
+  double duration = spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
+  d.copyInReady = start + duration;
+  stats_.transferBusySeconds += duration;
   ++stats_.transfers;
   stats_.bytesHostToDevice += mb;
+  trace::simSpan(tracer_, "sim.copy", "h2d", simCopyInTrack(dst.device), start,
+                 duration, {{"dst", dst.device}, {"bytes", bytes}});
 }
 
 void Machine::copyDeviceToHost(void* dst, DevBuffer src, i64 srcOff, i64 bytes) {
@@ -129,10 +145,13 @@ void Machine::copyDeviceToHost(void* dst, DevBuffer src, i64 srcOff, i64 bytes) 
   Device& d = devices_[static_cast<std::size_t>(src.device)];
   double mb = modeledBytes(bytes);
   double start = reserveFabric(std::max(hostNow_, d.copyOutReady), mb);
-  d.copyOutReady = start + spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
-  stats_.transferBusySeconds += spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
+  double duration = spec_.hostLink.latency + mb / spec_.hostLink.bandwidth;
+  d.copyOutReady = start + duration;
+  stats_.transferBusySeconds += duration;
   ++stats_.transfers;
   stats_.bytesDeviceToHost += mb;
+  trace::simSpan(tracer_, "sim.copy", "d2h", simCopyOutTrack(src.device), start,
+                 duration, {{"src", src.device}, {"bytes", bytes}});
 }
 
 void Machine::copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff,
@@ -160,6 +179,9 @@ void Machine::copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff,
   stats_.transferBusySeconds += duration;
   ++stats_.transfers;
   stats_.bytesPeerToPeer += mb;
+  trace::simSpan(tracer_, "sim.copy", "p2p", simCopyInTrack(dst.device), start,
+                 duration,
+                 {{"src", src.device}, {"dst", dst.device}, {"bytes", bytes}});
 }
 
 void Machine::launchKernel(int device, const ir::Kernel& kernel,
@@ -201,6 +223,9 @@ void Machine::launchKernel(int device, const ir::Kernel& kernel,
   double start = std::max(hostNow_, d.computeReady);
   d.computeReady = start + duration;
   stats_.kernelBusySeconds += duration;
+  trace::simSpan(tracer_, "sim.kernel", kernel.name(), simComputeTrack(device),
+                 start, duration,
+                 {{"device", device}, {"blocks", cfg.grid.count()}});
 
   if (mode_ == ExecutionMode::Functional)
     ir::execute(kernel, cfg, bound,

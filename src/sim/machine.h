@@ -19,7 +19,18 @@
 #include "ir/interp.h"
 #include "sim/spec.h"
 
+namespace polypart::trace {
+class Tracer;
+}
+
 namespace polypart::sim {
+
+// Sim-domain trace tracks (trace.h pid 2): one per engine, plus track 0 for
+// the host-side dependency-resolution cost the runtime models.
+inline constexpr int kSimHostTrack = 0;
+inline constexpr int simComputeTrack(int device) { return 1 + 3 * device; }
+inline constexpr int simCopyInTrack(int device) { return 2 + 3 * device; }
+inline constexpr int simCopyOutTrack(int device) { return 3 + 3 * device; }
 
 enum class ExecutionMode { Functional, TimingOnly };
 
@@ -118,6 +129,12 @@ class Machine {
   const MachineStats& stats() const { return stats_; }
   void resetStats() { stats_ = {}; }
 
+  /// Attaches a tracer: every kernel and copy thereafter emits a sim-domain
+  /// span on its engine's track (timestamps are simulated seconds, so the
+  /// modeled compute/copy overlap is visible on a timeline).  Null detaches.
+  /// Tracing never touches the clock, storage, or stats.
+  void setTracer(trace::Tracer* tracer);
+
  private:
   struct Storage {
     i64 bytes = 0;
@@ -144,6 +161,7 @@ class Machine {
   double fabricReady_ = 0;
   std::vector<Device> devices_;
   MachineStats stats_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace polypart::sim

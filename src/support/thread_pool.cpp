@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "support/error.h"
+#include "support/trace.h"
 
 namespace polypart::support {
 
@@ -10,7 +11,7 @@ ThreadPool::ThreadPool(int numThreads) {
   if (numThreads < 1) numThreads = 1;
   workers_.reserve(static_cast<std::size_t>(numThreads));
   for (int i = 0; i < numThreads; ++i)
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -31,7 +32,10 @@ void ThreadPool::enqueue(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(int workerIndex) {
+  // Tracer the worker last named its track for; re-naming happens only when
+  // a different tracer is attached (cheap steady-state path).
+  trace::Tracer* namedFor = nullptr;
   while (true) {
     std::function<void()> task;
     {
@@ -41,6 +45,13 @@ void ThreadPool::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    trace::Tracer* tracer = tracer_.load(std::memory_order_relaxed);
+    if (tracer != nullptr && tracer != namedFor) {
+      tracer->nameCurrentThread("worker " + std::to_string(workerIndex));
+      namedFor = tracer;
+    }
+    trace::Span span(tracer, "pool", "task", {},
+                     {{"worker", workerIndex}});
     task();
   }
 }

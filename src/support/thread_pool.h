@@ -8,6 +8,7 @@
 // commit, not from the pool: the pool itself is a plain work queue with no
 // ordering guarantee beyond "parallelFor/submit complete before returning".
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -19,6 +20,10 @@
 #include <vector>
 
 #include "support/arith.h"
+
+namespace polypart::trace {
+class Tracer;
+}
 
 namespace polypart::support {
 
@@ -34,6 +39,14 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Attaches a tracer: every executed task is wrapped in a wall-domain span
+  /// tagged with the worker index, and worker threads name their trace
+  /// tracks on first use.  Null detaches.  May be called while workers are
+  /// idle or running (atomic pointer; tasks pick up the change lazily).
+  void setTracer(trace::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_relaxed);
+  }
 
   /// Enqueues a fire-and-forget task.
   void enqueue(std::function<void()> task);
@@ -58,13 +71,14 @@ class ThreadPool {
   void parallelFor(i64 n, const std::function<void(i64)>& body);
 
  private:
-  void workerLoop();
+  void workerLoop(int workerIndex);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+  std::atomic<trace::Tracer*> tracer_{nullptr};
 };
 
 }  // namespace polypart::support

@@ -276,6 +276,31 @@ TEST(ParallelResolution, EvictionThrashKeepsCountersIdentical) {
   }
 }
 
+TEST(ParallelResolution, ResolutionWallTimeIsCountedOnce) {
+  // resolutionWallSeconds is accumulated by non-overlapping RAII windows
+  // (Runtime::ResolutionTimer asserts non-nesting at runtime); the parallel
+  // window is a sub-interval of a resolution window, so its wall time can
+  // never exceed the resolution total.  A double-counted overlap would show
+  // up here as parallelWallSeconds > resolutionWallSeconds.
+  for (int threads : {1, 4}) {
+    AppRun par = runApp(apps::Benchmark::Hotspot, threads, /*cache=*/true, 4);
+    EXPECT_GT(par.stats.resolutionWallSeconds, 0.0) << threads;
+    EXPECT_GT(par.stats.resolutionTasks, 0) << threads;
+    EXPECT_LE(par.stats.parallelWallSeconds, par.stats.resolutionWallSeconds)
+        << threads;
+  }
+}
+
+TEST(ParallelResolution, SerialModeHasNoParallelMetaCounters) {
+  // In serial mode the parallel engine never runs: its meta-counters must
+  // stay exactly zero while the resolution wall clock still accumulates.
+  AppRun serial = runApp(apps::Benchmark::Hotspot, /*threads=*/0,
+                         /*cache=*/true, 4);
+  EXPECT_GT(serial.stats.resolutionWallSeconds, 0.0);
+  EXPECT_EQ(serial.stats.resolutionTasks, 0);
+  EXPECT_EQ(serial.stats.parallelWallSeconds, 0.0);
+}
+
 TEST(ParallelResolution, BetaConfigurationIsDeterministicToo) {
   // β mode (transfers off, resolution on) exercises the no-transfer branch
   // of the sharded read phase: decisions are recorded but nothing is issued.

@@ -316,6 +316,27 @@ TEST(Runtime, HostToDeviceMemcpyDrainsInFlightKernels) {
   EXPECT_GE(rt->elapsedSeconds(), kernelDone + 0.95 * copySeconds);
 }
 
+TEST(RuntimeDeathTest, DoubleFreeIsDiagnosed) {
+  auto rt = makeRuntime(2);
+  VirtualBuffer* vb = rt->malloc(64);
+  rt->free(vb);
+  EXPECT_DEATH(rt->free(vb), "double free of virtual buffer");
+}
+
+TEST(RuntimeDeathTest, FreeOfForeignPointerIsDiagnosed) {
+  auto rt = makeRuntime(2);
+  auto other = makeRuntime(2);
+  VirtualBuffer* foreign = other->malloc(64);
+  // A live buffer of a *different* runtime was never allocated by `rt`.
+  EXPECT_DEATH(rt->free(foreign), "never allocated");
+  other->free(foreign);
+}
+
+TEST(RuntimeDeathTest, FreeOfNullIsDiagnosed) {
+  auto rt = makeRuntime(1);
+  EXPECT_DEATH(rt->free(nullptr), "free of null virtual buffer");
+}
+
 TEST(Runtime, SharedCopyTrackingSkipsRedundantBroadcasts) {
   // N-Body masses are read by every GPU and never written: with shared-copy
   // tracking the second iteration must not re-transfer them.

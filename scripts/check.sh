@@ -42,7 +42,11 @@ for stage in "${stages[@]}"; do
     asan)
       run cmake -B build-asan -S . -DPOLYPART_SANITIZE=address,undefined
       run cmake --build build-asan -j "$jobs"
-      run ctest --test-dir build-asan -j "$jobs" --output-on-failure
+      run ctest --test-dir build-asan -j "$jobs" --output-on-failure -LE fuzz
+      # The randomized differential suites (label `fuzz`, tests/fuzz_util.h)
+      # run as their own step so a generator regression is visible at a
+      # glance; failures print a POLYPART_FUZZ_SEED replay line.
+      run ctest --test-dir build-asan -j "$jobs" --output-on-failure -L fuzz
       ;;
     tsan)
       run cmake -B build-tsan -S . -DPOLYPART_SANITIZE=thread
@@ -50,7 +54,9 @@ for stage in "${stages[@]}"; do
       # The thread-sensitive suites (pool, parallel engine, runtime, cache,
       # tracker, tracer) — the full suite under TSan is needlessly slow.
       run ctest --test-dir build-tsan -j "$jobs" --output-on-failure \
-        -R 'ThreadPool|ParallelResolution|Runtime|EnumCache|Tracker|Trace'
+        -R 'ThreadPool|ParallelResolution|Runtime|EnumCache|Tracker|Trace' \
+        -LE fuzz
+      run ctest --test-dir build-tsan -j "$jobs" --output-on-failure -L fuzz
       ;;
     *)
       echo "unknown stage '$stage' (expected: tier1, asan, tsan)" >&2

@@ -1,0 +1,185 @@
+#include "pset/lex.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace polypart::pset {
+namespace {
+
+// Backtracking leaves scale with the product of per-dimension bound widths;
+// the cap matches the spirit of fm.cpp's kMaxRows blowup guard.
+constexpr i64 kMaxSteps = 4'000'000;
+
+/// floor(a / b) for b > 0.
+i64 floorDiv(i64 a, i64 b) {
+  i64 q = a / b;
+  if ((a % b) != 0 && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// ceil(a / b) for b > 0.
+i64 ceilDiv(i64 a, i64 b) { return -floorDiv(-a, b); }
+
+struct Search {
+  const BasicSet& bs;
+  std::span<const i64> params;
+  bool maximize;
+  std::vector<DimId> dims;          // set dims in column order (ins, then outs)
+  std::vector<BasicSet> projected;  // projected[d]: dims d+1.. eliminated
+  std::vector<i64> point;
+  i64 steps = 0;
+
+  /// Integer bounds on dims[depth] with the prefix point[0..depth) and the
+  /// parameters substituted into projected[depth]'s constraints.  Returns
+  /// false when some constraint is already violated (prune).  Throws Error
+  /// when the dimension has no finite lower or upper bound.
+  bool bounds(std::size_t depth, i64& lo, i64& hi) const {
+    const BasicSet& b = projected[depth];
+    const Space& sp = b.space();
+    bool haveLo = false, haveHi = false;
+    for (const Constraint& c : b.constraints()) {
+      i64 a = 0;
+      i64 rest = c.expr.constantTerm();
+      for (std::size_t col = 1; col < sp.cols(); ++col) {
+        i64 coef = c.expr[col];
+        if (coef == 0) continue;
+        DimId d = sp.dimAt(col);
+        if (d.kind == DimKind::Param) {
+          PP_ASSERT_MSG(d.index < params.size(),
+                        "lexMin/lexMax: missing parameter value");
+          rest = checkedAdd(rest, checkedMul(coef, params[d.index]));
+          continue;
+        }
+        // The projected space retains exactly dims 0..depth, so any
+        // non-param column is either a fixed prefix dim or the scan dim.
+        std::size_t flat =
+            d.kind == DimKind::In ? d.index : b.space().numIn() + d.index;
+        if (flat == depth) {
+          a = coef;
+        } else {
+          PP_ASSERT(flat < depth);
+          rest = checkedAdd(rest, checkedMul(coef, point[flat]));
+        }
+      }
+      if (a == 0) {
+        if (c.isEquality ? rest != 0 : rest < 0) return false;
+        continue;
+      }
+      if (c.isEquality) {
+        // a*x + rest == 0: a single candidate value, or infeasible.
+        if (rest % a != 0) return false;
+        i64 v = -rest / a;
+        if (!haveLo || v > lo) lo = v;
+        if (!haveHi || v < hi) hi = v;
+        haveLo = haveHi = true;
+      } else if (a > 0) {
+        // a*x + rest >= 0  =>  x >= ceil(-rest / a)
+        i64 v = ceilDiv(-rest, a);
+        if (!haveLo || v > lo) lo = v;
+        haveLo = true;
+      } else {
+        // a*x + rest >= 0, a < 0  =>  x <= floor(rest / -a)
+        i64 v = floorDiv(rest, -a);
+        if (!haveHi || v < hi) hi = v;
+        haveHi = true;
+      }
+    }
+    if (!haveLo || !haveHi)
+      throw Error("lexMin/lexMax of a set unbounded in dimension '" +
+                  bs.space().name(dims[depth]) + "'");
+    return lo <= hi;
+  }
+
+  bool leaf() const {
+    std::span<const i64> all(point);
+    std::size_t nIn = bs.space().numIn();
+    return bs.containsPoint(params, all.subspan(0, nIn), all.subspan(nIn));
+  }
+
+  std::optional<std::vector<i64>> descend(std::size_t depth) {
+    if (depth == dims.size())
+      return leaf() ? std::optional(point) : std::nullopt;
+    i64 lo = 0, hi = 0;
+    if (!bounds(depth, lo, hi)) return std::nullopt;
+    for (i64 k = 0; k <= hi - lo; ++k) {
+      if (++steps > kMaxSteps)
+        throw OverflowError("lexMin/lexMax search exceeded its step budget");
+      point[depth] = maximize ? hi - k : lo + k;
+      if (auto found = descend(depth + 1)) return found;
+    }
+    return std::nullopt;
+  }
+};
+
+std::optional<std::vector<i64>> lexExtreme(const BasicSet& bs,
+                                           std::span<const i64> params,
+                                           bool maximize) {
+  if (bs.markedEmpty()) return std::nullopt;
+  const Space& sp = bs.space();
+  Search s{bs, params, maximize, {}, {}, {}, 0};
+  for (std::size_t i = 0; i < sp.numIn(); ++i) s.dims.push_back(DimId::in(i));
+  for (std::size_t i = 0; i < sp.numOut(); ++i) s.dims.push_back(DimId::out(i));
+  if (s.dims.empty()) {
+    return bs.containsPoint(params, {}, {}) ? std::optional(std::vector<i64>{})
+                                            : std::nullopt;
+  }
+  // Outer bounds per depth from one FM projection each.  Over-approximation
+  // is sound here: the projected constraints hold for every true point, so
+  // the scan window can only be too wide, never too narrow.
+  s.projected.resize(s.dims.size());
+  BasicSet cur = bs;
+  cur.simplify();
+  if (cur.markedEmpty()) return std::nullopt;
+  for (std::size_t depth = s.dims.size(); depth-- > 0;) {
+    s.projected[depth] = cur;
+    DimId d = s.dims[depth];
+    cur = cur.projectOut(d.kind, d.index, 1).set;
+    if (cur.markedEmpty()) return std::nullopt;
+  }
+  s.point.assign(s.dims.size(), 0);
+  return s.descend(0);
+}
+
+}  // namespace
+
+int lexCompare(std::span<const i64> a, std::span<const i64> b) {
+  PP_ASSERT(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+std::optional<std::vector<i64>> lexMin(const BasicSet& bs,
+                                       std::span<const i64> params) {
+  return lexExtreme(bs, params, /*maximize=*/false);
+}
+
+std::optional<std::vector<i64>> lexMax(const BasicSet& bs,
+                                       std::span<const i64> params) {
+  return lexExtreme(bs, params, /*maximize=*/true);
+}
+
+std::optional<std::vector<i64>> lexMin(const Set& s,
+                                       std::span<const i64> params) {
+  std::optional<std::vector<i64>> best;
+  for (const BasicSet& part : s.parts()) {
+    auto m = lexMin(part, params);
+    if (m && (!best || lexCompare(*m, *best) < 0)) best = std::move(m);
+  }
+  return best;
+}
+
+std::optional<std::vector<i64>> lexMax(const Set& s,
+                                       std::span<const i64> params) {
+  std::optional<std::vector<i64>> best;
+  for (const BasicSet& part : s.parts()) {
+    auto m = lexMax(part, params);
+    if (m && (!best || lexCompare(*m, *best) > 0)) best = std::move(m);
+  }
+  return best;
+}
+
+}  // namespace polypart::pset

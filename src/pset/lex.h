@@ -1,0 +1,44 @@
+#pragma once
+
+// Lexicographic extrema of bounded Z-polyhedra.
+//
+// lexMin/lexMax return the lexicographically smallest/largest integer point
+// of a set, over its non-parameter dimensions in column order (inputs, then
+// outputs for map-shaped sets), with parameters fixed to concrete values.
+//
+// The implementation is exact: Fourier-Motzkin projection supplies *outer*
+// bounds per dimension (sound even when the elimination loses integer
+// exactness — every true point still satisfies the projected constraints),
+// and a depth-first scan over those bounds fixes one dimension at a time,
+// validating leaves with containsPoint().  The first point found in scan
+// order is the extremum.  For a union, the extremum is the lex-best over the
+// per-disjunct extrema.
+//
+// Requirements: the set must be bounded in every dimension (box-constrained);
+// an unbounded dimension raises Error.  A step budget guards against
+// pathological scan spaces and raises OverflowError, mirroring fm.cpp's
+// constraint-blowup guard.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pset/set.h"
+
+namespace polypart::pset {
+
+/// Lexicographically smallest integer point, or nullopt when empty.
+std::optional<std::vector<i64>> lexMin(const Set& s,
+                                       std::span<const i64> params = {});
+std::optional<std::vector<i64>> lexMax(const Set& s,
+                                       std::span<const i64> params = {});
+
+std::optional<std::vector<i64>> lexMin(const BasicSet& bs,
+                                       std::span<const i64> params = {});
+std::optional<std::vector<i64>> lexMax(const BasicSet& bs,
+                                       std::span<const i64> params = {});
+
+/// Three-way lexicographic comparison of equal-length tuples.
+int lexCompare(std::span<const i64> a, std::span<const i64> b);
+
+}  // namespace polypart::pset

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "rt/transfer_plan.h"
 #include "support/error.h"
 #include "support/thread_pool.h"
 #include "support/trace.h"
@@ -279,11 +280,33 @@ GridPartition Runtime::partitionFor(const KernelModel& model, const Dim3& grid,
   return p;
 }
 
+std::unique_ptr<TransferPlan> Runtime::makeTransferPlan() const {
+  if (!config_.transferScheduling || !config_.enableTransfers) return nullptr;
+  TransferPlan::Options opts;
+  opts.mergeRanges = true;
+  // Chaining sources a copy from a replica instead of the owner, which is
+  // exactly the reuse the sharer bitmap legitimizes; without it, replicas
+  // are not tracked and the plan keeps every copy on its owner link.
+  opts.chainBroadcasts = config_.trackSharedCopies;
+  return std::make_unique<TransferPlan>(opts);
+}
+
+void Runtime::issueTransferPlan(TransferPlan& plan) {
+  trace::Span span(config_.tracer, "runtime", "schedule-transfers", {},
+                   {{"decisions", static_cast<i64>(plan.recordCount())}});
+  const TransferPlanStats& ps = plan.issue(*machine_, config_.tracer);
+  stats_.peerCopies += ps.issued;
+  stats_.transfersMerged += ps.merged;
+  stats_.broadcastChains += ps.chains;
+  stats_.bytesSavedByDedup += ps.bytesSaved;
+}
+
 void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
                                std::span<const LaunchArg> args,
                                std::span<const i64> scalars) {
   ResolutionTimer timer(*this);
   trace::Span span(config_.tracer, "runtime", "sync-reads");
+  std::unique_ptr<TransferPlan> xferPlan = makeTransferPlan();
   // Shared-copy bookkeeping scratch; call-local so the serial and parallel
   // engines have the same per-task-ownership shape (no cross-call aliasing).
   std::vector<std::pair<i64, i64>> sharerScratch;
@@ -313,12 +336,19 @@ void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
                 return;
               }
               if (config_.enableTransfers) {
-                machine_->copyPeer(vb->instances_[static_cast<std::size_t>(gpu)], b,
-                                   vb->instances_[static_cast<std::size_t>(owner)],
-                                   b, en - b);
-                ++stats_.peerCopies;
-                trace::instant(config_.tracer, "transfer", "peer-copy",
-                               {{"src", owner}, {"dst", gpu}, {"bytes", en - b}});
+                if (xferPlan != nullptr) {
+                  // Scheduled mode: record the decision; the whole launch's
+                  // plan is merged and issued after the query loops.
+                  xferPlan->add(vb, gpu, static_cast<int>(owner), b, en);
+                } else {
+                  machine_->copyPeer(
+                      vb->instances_[static_cast<std::size_t>(gpu)], b,
+                      vb->instances_[static_cast<std::size_t>(owner)], b,
+                      en - b);
+                  ++stats_.peerCopies;
+                  trace::instant(config_.tracer, "transfer", "peer-copy",
+                                 {{"src", owner}, {"dst", gpu}, {"bytes", en - b}});
+                }
                 if (config_.trackSharedCopies) sharerScratch.emplace_back(b, en);
               }
             });
@@ -351,6 +381,7 @@ void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
                      sim::kSimHostTrack, simStart, cost, {{"gpu", gpu}});
     }
   }
+  if (xferPlan != nullptr) issueTransferPlan(*xferPlan);
 }
 
 void Runtime::updateTrackers(KernelEntry& ke, const LaunchConfig& cfg,
@@ -647,8 +678,12 @@ void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
 
   // Ordered commit: identical machine-call and stats sequence as the serial
   // loop — (gpu ascending, enumerator ascending, transfers in decision
-  // order, then the modeled per-array cost).
+  // order, then the modeled per-array cost).  With scheduling on, the same
+  // canonical order instead populates the TransferPlan, so the schedule —
+  // and everything downstream of it — matches the serial engine byte for
+  // byte.
   trace::Span phase3(config_.tracer, "runtime", "phase3:commit");
+  std::unique_ptr<TransferPlan> xferPlan = makeTransferPlan();
   for (std::size_t ai = 0; ai < acqs.size(); ++ai) {
     const PlanAcquisition& a = acqs[ai];
     for (std::size_t ei = 0; ei < numEnums; ++ei) {
@@ -657,6 +692,10 @@ void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
       VirtualBuffer* vb = args[e.argIndex()].buffer;
       const EnumResolution& r = results[ai * numEnums + ei];
       for (const Transfer& t : r.transfers) {
+        if (xferPlan != nullptr) {
+          xferPlan->add(vb, a.gpu, static_cast<int>(t.owner), t.begin, t.end);
+          continue;
+        }
         machine_->copyPeer(vb->instances_[static_cast<std::size_t>(a.gpu)],
                            t.begin,
                            vb->instances_[static_cast<std::size_t>(t.owner)],
@@ -685,6 +724,7 @@ void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
                      sim::kSimHostTrack, simStart, cost, {{"gpu", a.gpu}});
     }
   }
+  if (xferPlan != nullptr) issueTransferPlan(*xferPlan);
 }
 
 void Runtime::updateTrackersParallel(KernelEntry& ke, const LaunchConfig& cfg,

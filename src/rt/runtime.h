@@ -51,6 +51,8 @@ class Tracer;
 
 namespace polypart::rt {
 
+class TransferPlan;
+
 /// Host-to-device distribution pattern (Section 8.2: "data is distributed
 /// in a predefined pattern, hoping that this pattern matches the read
 /// pattern of the following kernels.  Currently, this pattern is a linear
@@ -78,6 +80,17 @@ struct RuntimeConfig {
   /// redundant transfers for applications with large amounts of shared
   /// data" (Section 8.3).  Off by default (paper behaviour).
   bool trackSharedCopies = false;
+  /// Topology-aware transfer scheduling (extension; see DESIGN.md "Transfer
+  /// plan").  Off (default): the paper's behaviour — each resolved segment is
+  /// copied the moment the tracker query yields it.  On: both resolution
+  /// engines collect the per-launch transfer decisions into a TransferPlan
+  /// that merges adjacent/overlapping same-link ranges, chains one-to-many
+  /// reads through fresh replicas (when trackSharedCopies provides the
+  /// sharer bookkeeping), and issues round-robin across (src, dst) links.
+  /// Functional results, tracker state, and gather bytes are byte-identical
+  /// with scheduling on or off, at every resolutionThreads value;
+  /// bytesPeerToPeer can only shrink (tests/transfer_plan_test.cpp).
+  bool transferScheduling = false;
   /// Page size for the round-robin distribution (bytes).
   i64 h2dPageBytes = 65536;
   /// Launch-plan enumeration cache: memoizes, per kernel, the coalesced
@@ -144,6 +157,7 @@ class VirtualBuffer {
 
  private:
   friend class Runtime;
+  friend class TransferPlan;  // issues scheduled copies between instances
   VirtualBuffer(i64 bytes, std::vector<sim::DevBuffer> instances)
       : bytes_(bytes), instances_(std::move(instances)), tracker_(bytes) {}
   i64 bytes_ = 0;
@@ -174,6 +188,10 @@ struct RuntimeStats {
   i64 enumCacheHits = 0;       // launch plans replayed from the cache
   i64 enumCacheMisses = 0;     // launch plans materialized by enumeration
   i64 enumCacheEvictions = 0;  // plans dropped by the bounded-size FIFO
+  // Transfer-scheduler counters (all 0 with transferScheduling off).
+  i64 transfersMerged = 0;    // decisions folded away by same-link merging
+  i64 broadcastChains = 0;    // copies re-sourced from a fresh replica
+  i64 bytesSavedByDedup = 0;  // storage bytes not re-moved thanks to merging
   // Engine meta-counters.  These describe *how* the resolution executed, not
   // what it computed: wall-clock fields are nondeterministic by nature and
   // resolutionTasks is 0 in serial mode, so the determinism guarantee of
@@ -279,6 +297,13 @@ class Runtime {
   void synchronizeReads(KernelEntry& ke, const ir::LaunchConfig& cfg,
                         std::span<const LaunchArg> args,
                         std::span<const i64> scalars);
+  /// Returns the per-launch plan for the read-sync phase when
+  /// transferScheduling is on, or nullptr (paper behaviour: copies are
+  /// issued inline by the tracker-query callback).
+  std::unique_ptr<TransferPlan> makeTransferPlan() const;
+  /// Schedules + issues a collected plan and folds its stats into stats_
+  /// (peerCopies counts the post-merge copies actually issued).
+  void issueTransferPlan(TransferPlan& plan);
   void updateTrackers(KernelEntry& ke, const ir::LaunchConfig& cfg,
                       std::span<const LaunchArg> args,
                       std::span<const i64> scalars);

@@ -11,6 +11,17 @@ namespace polypart::sim {
 Machine::Machine(MachineSpec spec, ExecutionMode mode)
     : spec_(spec), mode_(mode), devices_(static_cast<std::size_t>(spec.numDevices)) {
   PP_ASSERT(spec.numDevices >= 1);
+  const std::size_t n = static_cast<std::size_t>(spec.numDevices);
+  peerLinkReady_.assign(n * n, 0);
+  peerLinkBusy_.assign(n * n, 0);
+}
+
+double Machine::linkBusySeconds(int src, int dst) const {
+  PP_ASSERT(src >= 0 && src < spec_.numDevices && dst >= 0 &&
+            dst < spec_.numDevices);
+  return peerLinkBusy_[static_cast<std::size_t>(src) *
+                           static_cast<std::size_t>(spec_.numDevices) +
+                       static_cast<std::size_t>(dst)];
 }
 
 void Machine::setTracer(trace::Tracer* tracer) {
@@ -154,10 +165,10 @@ void Machine::copyDeviceToHost(void* dst, DevBuffer src, i64 srcOff, i64 bytes) 
                  duration, {{"src", src.device}, {"bytes", bytes}});
 }
 
-void Machine::copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff,
-                       i64 bytes) {
+double Machine::copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff,
+                         i64 bytes, double notBefore) {
   chargeApiCall();
-  if (bytes <= 0) return;
+  if (bytes <= 0) return hostNow_;
   Storage& sd = storage(dst);
   Storage& ss = storage(src);
   PP_ASSERT(dstOff >= 0 && dstOff + bytes <= sd.bytes);
@@ -169,19 +180,33 @@ void Machine::copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff,
   // A peer transfer is driven by the destination's DMA engine
   // (cudaMemcpyPeerAsync semantics): the source's memory is read directly,
   // its copy engine stays free.  Aggregate pressure is captured by the
-  // shared fabric.
+  // shared fabric.  With spec_.modelPeerLinks the topology is tighter: the
+  // directed link serializes its own transfers, and the source's copy-out
+  // engine is occupied streaming its memory out.
   Device& dDst = devices_[static_cast<std::size_t>(dst.device)];
+  Device& dSrc = devices_[static_cast<std::size_t>(src.device)];
+  const std::size_t link = static_cast<std::size_t>(src.device) *
+                               static_cast<std::size_t>(spec_.numDevices) +
+                           static_cast<std::size_t>(dst.device);
   double mb = modeledBytes(bytes);
   double duration = spec_.peerLink.latency + mb / spec_.peerLink.bandwidth;
-  double start = std::max(hostNow_, dDst.copyInReady);
+  double start = std::max({hostNow_, dDst.copyInReady, notBefore});
+  if (spec_.modelPeerLinks)
+    start = std::max({start, dSrc.copyOutReady, peerLinkReady_[link]});
   start = reserveFabric(start, mb);
   dDst.copyInReady = start + duration;
+  if (spec_.modelPeerLinks) {
+    dSrc.copyOutReady = start + duration;
+    peerLinkReady_[link] = start + duration;
+  }
+  peerLinkBusy_[link] += duration;
   stats_.transferBusySeconds += duration;
   ++stats_.transfers;
   stats_.bytesPeerToPeer += mb;
   trace::simSpan(tracer_, "sim.copy", "p2p", simCopyInTrack(dst.device), start,
                  duration,
                  {{"src", src.device}, {"dst", dst.device}, {"bytes", bytes}});
+  return start + duration;
 }
 
 void Machine::launchKernel(int device, const ir::Kernel& kernel,

@@ -116,7 +116,16 @@ class Machine {
   /// are in bytes.  In Functional mode data moves immediately (issue order).
   void copyHostToDevice(DevBuffer dst, i64 dstOff, const void* src, i64 bytes);
   void copyDeviceToHost(void* dst, DevBuffer src, i64 srcOff, i64 bytes);
-  void copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff, i64 bytes);
+  /// Peer copy; returns the modeled completion time of the transfer.
+  /// `notBefore` is an extra lower bound on the modeled start — the transfer
+  /// scheduler passes the parent copy's completion so a chained broadcast
+  /// copy never reads a replica before the model says it exists.
+  double copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff,
+                  i64 bytes, double notBefore = 0);
+
+  /// Accumulated busy seconds of the directed peer link src -> dst (pure
+  /// bookkeeping: recorded in every mode, independent of modelPeerLinks).
+  double linkBusySeconds(int src, int dst) const;
 
   // -- kernels ----------------------------------------------------------------
   /// Launches `kernel` asynchronously on `device`.  Buffer args must live on
@@ -159,6 +168,11 @@ class Machine {
   ExecutionMode mode_;
   double hostNow_ = 0;
   double fabricReady_ = 0;
+  /// Per directed (src, dst) peer link, indexed src * numDevices + dst:
+  /// ready time (used only when spec_.modelPeerLinks) and accumulated busy
+  /// seconds (always recorded, for benches/tests observing link balance).
+  std::vector<double> peerLinkReady_;
+  std::vector<double> peerLinkBusy_;
   std::vector<Device> devices_;
   MachineStats stats_;
   trace::Tracer* tracer_ = nullptr;

@@ -41,6 +41,16 @@ struct MachineSpec {
   /// bandwidth, but the sum across concurrent transfers cannot exceed this.
   double fabricBandwidth = 15e9;
 
+  /// Models peer-to-peer topology contention beyond the shared fabric: each
+  /// directed (src, dst) link is a serial resource, and a peer read also
+  /// occupies the source's copy-out engine (its memory is being streamed
+  /// out, like a D2H gather would).  Off by default — the seed model charges
+  /// only the destination's copy-in engine plus the fabric, which makes a
+  /// one-to-many broadcast from a single owner look free on the source side.
+  /// The transfer scheduler's link-spreading and broadcast chaining are
+  /// observable in modeled time only with this on (bench/transfer_scheduler).
+  bool modelPeerLinks = false;
+
   /// Bytes per modeled array element for the timing model.  The paper's
   /// benchmarks are single-precision, so kernels move 4 bytes per element
   /// even though functional storage uses 8-byte doubles.

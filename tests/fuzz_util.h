@@ -1,0 +1,72 @@
+#pragma once
+
+// Shared helpers for the fuzz suites (tracker, pipeline, pset, enumerator).
+//
+// Every suite derives its per-case seeds from one base seed and reports the
+// *case* seed on failure, so a single failing case replays without re-running
+// the whole sweep:
+//
+//   POLYPART_FUZZ_SEED=<n> ./build/tests/pp_fuzz_tests --gtest_filter=...
+//
+// When POLYPART_FUZZ_SEED is set, each suite runs exactly one case with that
+// seed (replay mode) instead of its full sweep.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "support/rng.h"
+
+namespace polypart::fuzz {
+
+inline const char* seedEnv() { return std::getenv("POLYPART_FUZZ_SEED"); }
+
+/// True when POLYPART_FUZZ_SEED pins a single case for replay.
+inline bool seedPinned() { return seedEnv() != nullptr; }
+
+/// The base seed: POLYPART_FUZZ_SEED when set, else the suite's default.
+inline std::uint64_t baseSeed(std::uint64_t fallback) {
+  if (const char* env = seedEnv()) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') return v;
+  }
+  return fallback;
+}
+
+/// Derives the seed of case `index` from the base seed (one SplitMix64
+/// step): case seeds are decorrelated, and each is individually replayable
+/// by exporting it as POLYPART_FUZZ_SEED.
+inline std::uint64_t caseSeed(std::uint64_t base, int index) {
+  std::uint64_t z =
+      base + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Number of cases to run: 1 in replay mode, `sweep` otherwise.
+inline int caseCount(int sweep) { return seedPinned() ? 1 : sweep; }
+
+/// Seed of case `index`: the pinned seed itself in replay mode.
+inline std::uint64_t seedFor(std::uint64_t fallbackBase, int index) {
+  std::uint64_t base = baseSeed(fallbackBase);
+  return seedPinned() ? base : caseSeed(base, index);
+}
+
+/// Rng that remembers its seed and renders the replay instructions failure
+/// messages carry.
+class SeededRng : public Rng {
+ public:
+  explicit SeededRng(std::uint64_t seed) : Rng(seed), seed_(seed) {}
+  std::uint64_t seed() const { return seed_; }
+  std::string replay() const {
+    return "seed " + std::to_string(seed_) + " (replay: POLYPART_FUZZ_SEED=" +
+           std::to_string(seed_) + ")";
+  }
+
+ private:
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace polypart::fuzz

@@ -12,107 +12,25 @@
 #include <vector>
 
 #include "analysis/analyze.h"
-#include "ir/builder.h"
+#include "fuzz_kernels.h"
+#include "fuzz_util.h"
 #include "ir/interp.h"
 #include "rt/runtime.h"
-#include "support/rng.h"
 
 namespace polypart::rt {
 namespace {
 
-using ir::ArrayRef;
-using ir::Axis;
-using ir::ExprPtr;
-using ir::fconst;
-using ir::iconst;
-using ir::KernelBuilder;
-using ir::KernelPtr;
-using ir::land;
-using ir::lt;
-using ir::ge;
-using ir::le;
-using ir::Type;
-
-struct GeneratedKernel {
-  KernelPtr kernel;
-  bool is2d = false;
-  int numInputs = 1;
-};
-
-/// Builds a random affine kernel: out[gid] (1-D) or out[y][x] (2-D) computed
-/// from 1-3 inputs read at random affine offsets, optionally inside a small
-/// sequential loop, under the grid guard plus an optional extra affine guard.
-GeneratedKernel generate(Rng& rng, int index) {
-  GeneratedKernel g;
-  g.is2d = rng.chance(0.5);
-  g.numInputs = static_cast<int>(rng.range(1, 3));
-  KernelBuilder b("fuzz" + std::to_string(index));
-  auto n = b.scalar("n", Type::I64);
-  std::vector<ArrayRef> ins;
-  for (int i = 0; i < g.numInputs; ++i) {
-    ins.push_back(g.is2d
-                      ? b.array("in" + std::to_string(i), Type::F64, {n, n})
-                      : b.array("in" + std::to_string(i), Type::F64, {n}));
-  }
-  ArrayRef out = g.is2d ? b.array("out", Type::F64, {n, n})
-                        : b.array("out", Type::F64, {n});
-
-  auto x = b.let("x", b.globalId(Axis::X));
-  ExprPtr y;
-  ExprPtr guard;
-  if (g.is2d) {
-    y = b.let("y", b.globalId(Axis::Y));
-    guard = land(lt(x, n), lt(y, n));
-  } else {
-    guard = lt(x, n);
-  }
-
-  b.iff(guard, [&] {
-    // Clamped-free interior guard so random offsets stay in bounds.
-    const i64 margin = 2;
-    ExprPtr interior = land(ge(x, iconst(margin)), le(x, n - iconst(margin + 1)));
-    if (g.is2d)
-      interior = land(interior,
-                      land(ge(y, iconst(margin)), le(y, n - iconst(margin + 1))));
-
-    b.iff(
-        interior,
-        [&] {
-          auto acc = b.let("acc", fconst(0.5));
-          auto body = [&](ExprPtr base) {
-            for (int i = 0; i < g.numInputs; ++i) {
-              i64 dx = rng.range(-2, 2);
-              ExprPtr idx;
-              if (g.is2d) {
-                i64 dy = rng.range(-2, 2);
-                idx = (y + iconst(dy)) * n + (x + iconst(dx));
-              } else {
-                idx = x + iconst(dx);
-              }
-              b.assign(acc, acc + b.load(ins[static_cast<std::size_t>(i)], idx) * base);
-            }
-          };
-          if (rng.chance(0.4)) {
-            b.forLoop("k", iconst(0), iconst(3),
-                      [&](ExprPtr k) { body(ir::Expr::cast(Type::F64, k + iconst(1))); });
-          } else {
-            body(fconst(1.25));
-          }
-          b.store(out, g.is2d ? y * n + x : x, acc);
-        },
-        [&] {
-          // Border: write a marker so the whole output is covered.
-          b.store(out, g.is2d ? y * n + x : x, fconst(-3.0));
-        });
-  });
-  g.kernel = b.build();
-  return g;
-}
+using fuzz::GeneratedKernel;
+using fuzz::generate;
 
 TEST(PipelineFuzz, RandomAffineKernelsPartitionExactly) {
-  Rng rng(4242);
+  // One RNG drives the whole sweep, so each case's seed is reseeded per
+  // iteration to stay individually replayable via POLYPART_FUZZ_SEED.
+  const int iters = fuzz::caseCount(25);
   int accepted = 0;
-  for (int iter = 0; iter < 25; ++iter) {
+  for (int iter = 0; iter < iters; ++iter) {
+    fuzz::SeededRng rng(fuzz::seedFor(4242, iter));
+    SCOPED_TRACE(rng.replay());
     GeneratedKernel g = generate(rng, iter);
     ir::Module mod;
     mod.addKernel(g.kernel);
@@ -172,7 +90,7 @@ TEST(PipelineFuzz, RandomAffineKernelsPartitionExactly) {
       ASSERT_EQ(got, truth) << "kernel:\n" << g.kernel->str() << "\ngpus " << gpus;
     }
   }
-  EXPECT_EQ(accepted, 25);
+  EXPECT_EQ(accepted, iters);
 }
 
 }  // namespace

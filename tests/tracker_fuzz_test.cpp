@@ -19,8 +19,8 @@
 
 #include <vector>
 
+#include "fuzz_util.h"
 #include "rt/tracker.h"
-#include "support/rng.h"
 
 namespace polypart::rt {
 namespace {
@@ -126,6 +126,7 @@ i64 fuzzPos(Rng& rng, i64 size) {
 
 template <typename TrackerT>
 void runFuzz(u64 seed, i64 size, int ops) {
+  SCOPED_TRACE(fuzz::SeededRng(seed).replay());
   Rng rng(seed);
   TrackerT tracker(size);
   FlatTracker ref(size);
@@ -172,17 +173,20 @@ void runFuzz(u64 seed, i64 size, int ops) {
 }
 
 TEST(TrackerFuzz, BTreeBackendMatchesFlatReference) {
-  for (u64 seed : {1u, 7u, 42u, 1234u}) runFuzz<SegmentTracker>(seed, 97, 400);
+  for (int i = 0; i < fuzz::caseCount(4); ++i)
+    runFuzz<SegmentTracker>(fuzz::seedFor(1, i), 97, 400);
 }
 
 TEST(TrackerFuzz, StdMapBackendMatchesFlatReference) {
-  for (u64 seed : {2u, 9u, 77u}) runFuzz<SegmentTrackerStdMap>(seed, 97, 400);
+  for (int i = 0; i < fuzz::caseCount(3); ++i)
+    runFuzz<SegmentTrackerStdMap>(fuzz::seedFor(2, i), 97, 400);
 }
 
 TEST(TrackerFuzz, TinyBuffersAndSingleUnit) {
   // Degenerate sizes keep the boundary arithmetic honest (begin == 0 and
   // end == size coincide or nearly coincide).
-  for (u64 seed : {3u, 5u}) {
+  for (int i = 0; i < fuzz::caseCount(2); ++i) {
+    u64 seed = fuzz::seedFor(3, i);
     runFuzz<SegmentTracker>(seed, 1, 120);
     runFuzz<SegmentTracker>(seed, 2, 120);
     runFuzz<SegmentTracker>(seed, 3, 120);

@@ -38,6 +38,10 @@ for stage in "${stages[@]}"; do
       run env POLYPART_TRACE="$trace_out" ./build/examples/quickstart
       [ -s "$trace_out" ] || { echo "POLYPART_TRACE wrote no trace"; exit 1; }
       rm -f "$trace_out"
+      # Pipelined configuration smoke: drives submit()/drain() with
+      # pipelineDepth > 0 and two tenant streams end to end (the determinism
+      # suites assert equivalence; this proves the bench harness runs).
+      run ./build/bench/pipelined_launch --iters-scale=0.1
       ;;
     asan)
       run cmake -B build-asan -S . -DPOLYPART_SANITIZE=address,undefined
@@ -51,10 +55,11 @@ for stage in "${stages[@]}"; do
     tsan)
       run cmake -B build-tsan -S . -DPOLYPART_SANITIZE=thread
       run cmake --build build-tsan -j "$jobs"
-      # The thread-sensitive suites (pool, parallel engine, runtime, cache,
-      # tracker, tracer) — the full suite under TSan is needlessly slow.
+      # The thread-sensitive suites (pool, parallel engine, pipelined launch
+      # engine, runtime, cache, tracker, tracer) — the full suite under TSan
+      # is needlessly slow.
       run ctest --test-dir build-tsan -j "$jobs" --output-on-failure \
-        -R 'ThreadPool|ParallelResolution|Runtime|EnumCache|Tracker|Trace' \
+        -R 'ThreadPool|ParallelResolution|Pipelined|Pipeline|Runtime|EnumCache|Tracker|Trace' \
         -LE fuzz
       run ctest --test-dir build-tsan -j "$jobs" --output-on-failure -L fuzz
       ;;

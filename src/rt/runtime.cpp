@@ -1,14 +1,17 @@
 #include "rt/runtime.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <limits>
+#include <thread>
 #include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "rt/transfer_plan.h"
 #include "support/error.h"
+#include "support/pipeline.h"
 #include "support/thread_pool.h"
 #include "support/trace.h"
 
@@ -33,27 +36,85 @@ double wallSeconds(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
+/// Field-wise difference accumulation for the per-tenant stats slices:
+/// into += after - before.  Every RuntimeStats field must appear here.
+void addStatsDiff(RuntimeStats& into, const RuntimeStats& before,
+                  const RuntimeStats& after) {
+  into.launches += after.launches - before.launches;
+  into.rangesResolved += after.rangesResolved - before.rangesResolved;
+  into.logicalRowsResolved +=
+      after.logicalRowsResolved - before.logicalRowsResolved;
+  into.trackerSegmentsVisited +=
+      after.trackerSegmentsVisited - before.trackerSegmentsVisited;
+  into.peerCopies += after.peerCopies - before.peerCopies;
+  into.sharedCopyHits += after.sharedCopyHits - before.sharedCopyHits;
+  into.enumCacheHits += after.enumCacheHits - before.enumCacheHits;
+  into.enumCacheMisses += after.enumCacheMisses - before.enumCacheMisses;
+  into.enumCacheEvictions +=
+      after.enumCacheEvictions - before.enumCacheEvictions;
+  into.transfersMerged += after.transfersMerged - before.transfersMerged;
+  into.broadcastChains += after.broadcastChains - before.broadcastChains;
+  into.bytesSavedByDedup += after.bytesSavedByDedup - before.bytesSavedByDedup;
+  into.resolutionTasks += after.resolutionTasks - before.resolutionTasks;
+  into.resolutionWallSeconds +=
+      after.resolutionWallSeconds - before.resolutionWallSeconds;
+  into.parallelWallSeconds +=
+      after.parallelWallSeconds - before.parallelWallSeconds;
+}
+
 }  // namespace
 
 class Runtime::ResolutionTimer {
  public:
   explicit ResolutionTimer(Runtime& rt)
-      : rt_(rt), t0_(std::chrono::steady_clock::now()) {
-    PP_ASSERT_MSG(!rt_.resolutionTimerActive_,
-                  "overlapping resolution wall-time windows");
-    rt_.resolutionTimerActive_ = true;
+      : rt_(rt), prev_(activeWindow()), t0_(std::chrono::steady_clock::now()) {
+    // Windows may overlap across threads (a submitter pre-materializing
+    // launch N+1 while the engine thread resolves launch N), but must not
+    // nest on one thread for the same runtime — that would count the same
+    // real time twice.  The marker is thread-local, so cross-thread overlap
+    // never trips it; the old per-runtime flag would have.
+    PP_ASSERT_MSG(prev_ != &rt_, "overlapping resolution wall-time windows");
+    activeWindow() = &rt_;
   }
   ~ResolutionTimer() {
-    rt_.resolutionTimerActive_ = false;
-    rt_.stats_.resolutionWallSeconds += wallSeconds(t0_);
+    activeWindow() = prev_;
+    const double secs = wallSeconds(t0_);
+    std::lock_guard<std::mutex> lock(rt_.statsMutex_);
+    rt_.stats_.resolutionWallSeconds += secs;
   }
 
   ResolutionTimer(const ResolutionTimer&) = delete;
   ResolutionTimer& operator=(const ResolutionTimer&) = delete;
 
+  /// True when the calling thread has an open window for `rt`.
+  static bool openOnThisThread(const Runtime& rt) {
+    return activeWindow() == &rt;
+  }
+
  private:
+  static const Runtime*& activeWindow() {
+    thread_local const Runtime* window = nullptr;
+    return window;
+  }
+
   Runtime& rt_;
+  const Runtime* prev_ = nullptr;
   std::chrono::steady_clock::time_point t0_;
+};
+
+/// Pipeline machinery: the bounded submission queue, the epoch clock, the
+/// engine thread, and the failure latch (first commit-side exception; held
+/// until a wait()/drain() rethrows it).
+struct Runtime::Pipeline {
+  explicit Pipeline(int depth)
+      : queue(static_cast<std::size_t>(depth)) {}
+
+  support::BoundedQueue<PendingLaunch> queue;
+  support::EpochClock epochs;
+  std::thread engine;
+  std::mutex errorMutex;
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
 };
 
 Runtime::Runtime(RuntimeConfig config, analysis::ApplicationModel model,
@@ -89,9 +150,31 @@ Runtime::Runtime(RuntimeConfig config, analysis::ApplicationModel model,
   }
   for (std::size_t i = 0; i < entries.size(); ++i)
     kernels_.emplace(model_.kernels[i].kernel, std::move(entries[i]));
+
+  // Tenancy + pipelined engine.
+  PP_ASSERT_MSG(config_.numTenants >= 1, "numTenants must be >= 1");
+  PP_ASSERT_MSG(config_.pipelineDepth >= 0, "pipelineDepth must be >= 0");
+  PP_ASSERT_MSG(config_.maxInFlightPerTenant >= 0,
+                "maxInFlightPerTenant must be >= 0");
+  tenants_.resize(static_cast<std::size_t>(config_.numTenants));
+  if (config_.tracer != nullptr &&
+      (config_.numTenants > 1 || config_.pipelineDepth > 0))
+    for (int t = 0; t < config_.numTenants; ++t)
+      config_.tracer->nameTenantTrack(t, "tenant " + std::to_string(t));
+  if (config_.pipelineDepth > 0) {
+    pipeline_ = std::make_unique<Pipeline>(config_.pipelineDepth);
+    pipeline_->engine = std::thread([this] { pipelineLoop(); });
+  }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  if (pipeline_ != nullptr) {
+    // Stop accepting work and let the engine drain what was submitted; a
+    // pending failure is dropped here (destruction is not a place to throw).
+    pipeline_->queue.close();
+    if (pipeline_->engine.joinable()) pipeline_->engine.join();
+  }
+}
 
 const Runtime::KernelEntry& Runtime::entry(const std::string& name) const {
   auto it = kernels_.find(name);
@@ -105,12 +188,32 @@ Runtime::KernelEntry& Runtime::entry(const std::string& name) {
   return it->second;
 }
 
+std::shared_ptr<const Runtime::LaunchPlan> Runtime::findPrebuilt(
+    const codegen::EnumerationKey& key) const {
+  if (activePending_ == nullptr) return nullptr;
+  for (const auto& [k, plan] : activePending_->prebuilt)
+    if (k == key) return plan;
+  return nullptr;
+}
+
 const Runtime::LaunchPlan* Runtime::resolvePlan(KernelEntry& ke,
                                                 const PartitionTuple& tuple,
                                                 const LaunchConfig& cfg,
                                                 std::span<const i64> scalars,
                                                 bool& wasHit) {
-  if (!config_.enableEnumerationCache) return nullptr;
+  if (!config_.enableEnumerationCache) {
+    // Pipelined mode, cache off: replay the plan the submitting thread
+    // pre-materialized.  Its ranges/info are exactly what the live
+    // enumerate() below it would produce, and `wasHit` stays false, so
+    // stats and modeled costs match the un-pipelined path byte for byte.
+    if (activePending_ != nullptr && !activePending_->prebuilt.empty()) {
+      wasHit = false;
+      if (std::shared_ptr<const LaunchPlan> pre =
+              findPrebuilt(codegen::EnumerationKey::of(tuple, cfg, scalars)))
+        return pre.get();  // kept alive by the PendingLaunch until committed
+    }
+    return nullptr;
+  }
   codegen::EnumerationKey key = codegen::EnumerationKey::of(tuple, cfg, scalars);
   auto it = ke.planCache.find(key);
   if (it != ke.planCache.end()) {
@@ -135,10 +238,16 @@ const Runtime::LaunchPlan* Runtime::resolvePlan(KernelEntry& ke,
     trace::counter(config_.tracer, "cache", "plan-cache-evictions",
                    stats_.enumCacheEvictions);
   }
-  auto plan = std::make_shared<LaunchPlan>();
-  plan->reserve(ke.enumerators.size());
-  for (const Enumerator& e : ke.enumerators)
-    plan->push_back(e.materialize(tuple, cfg, scalars));
+  // A plan pre-materialized at submission satisfies the miss without
+  // enumerating here; a mispredict (or serial mode) falls back to building.
+  std::shared_ptr<const LaunchPlan> plan = findPrebuilt(key);
+  if (plan == nullptr) {
+    auto fresh = std::make_shared<LaunchPlan>();
+    fresh->reserve(ke.enumerators.size());
+    for (const Enumerator& e : ke.enumerators)
+      fresh->push_back(e.materialize(tuple, cfg, scalars));
+    plan = std::move(fresh);
+  }
   auto [pos, inserted] = ke.planCache.emplace(std::move(key), std::move(plan));
   PP_ASSERT(inserted);
   ke.planCacheOrder.push_back(pos->first);
@@ -149,19 +258,23 @@ const ir::Kernel& Runtime::partitionedKernel(const std::string& name) const {
   return *entry(name).partitioned;
 }
 
-VirtualBuffer* Runtime::malloc(i64 bytes) {
+VirtualBuffer* Runtime::malloc(i64 bytes, TenantId tenant) {
   PP_ASSERT(bytes >= 0);
+  PP_ASSERT_MSG(tenant >= 0 && tenant < config_.numTenants,
+                "malloc for unknown tenant");
+  drain();  // machine allocations keep program order vs in-flight launches
   std::vector<sim::DevBuffer> instances;
   instances.reserve(static_cast<std::size_t>(config_.numGpus));
   for (int d = 0; d < config_.numGpus; ++d)
     instances.push_back(machine_->alloc(d, bytes));
-  buffers_.push_back(
-      std::unique_ptr<VirtualBuffer>(new VirtualBuffer(bytes, std::move(instances))));
+  buffers_.push_back(std::unique_ptr<VirtualBuffer>(
+      new VirtualBuffer(bytes, std::move(instances), tenant)));
   return buffers_.back().get();
 }
 
 void Runtime::free(VirtualBuffer* buf) {
   PP_ASSERT_MSG(buf != nullptr, "free of null virtual buffer");
+  drain();  // in-flight launches may still reference the buffer
   for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
     if (it->get() == buf) {
       for (const sim::DevBuffer& b : buf->instances_) machine_->free(b);
@@ -180,6 +293,10 @@ void Runtime::free(VirtualBuffer* buf) {
 
 void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
   PP_ASSERT(bytes >= 0);
+  // Memcpy reads/writes tracker state and the machine; pipelined launches
+  // ahead of it must land first so every machine operation keeps program
+  // order (that order is what makes depth-0 and depth-N byte-identical).
+  drain();
   trace::Span span(config_.tracer, "runtime", "memcpy", {}, {{"bytes", bytes}});
   switch (kind) {
     case MemcpyKind::HostToHost:
@@ -260,7 +377,10 @@ void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
   }
 }
 
-void Runtime::deviceSynchronize() { machine_->synchronizeAll(); }
+void Runtime::deviceSynchronize() {
+  drain();
+  machine_->synchronizeAll();
+}
 
 double Runtime::elapsedSeconds() const { return machine_->completionTime(); }
 
@@ -294,6 +414,10 @@ std::unique_ptr<TransferPlan> Runtime::makeTransferPlan() const {
 void Runtime::issueTransferPlan(TransferPlan& plan) {
   trace::Span span(config_.tracer, "runtime", "schedule-transfers", {},
                    {{"decisions", static_cast<i64>(plan.recordCount())}});
+  // Pipelined commits attribute the plan's copies to the launch that issues
+  // it; the serial paper path stays untagged (classic trace output).
+  if (activePending_ != nullptr && activePending_->epoch >= 0)
+    plan.setIssueTag(activePending_->epoch, activePending_->tenant);
   const TransferPlanStats& ps = plan.issue(*machine_, config_.tracer);
   stats_.peerCopies += ps.issued;
   stats_.transfersMerged += ps.merged;
@@ -460,7 +584,7 @@ void Runtime::runResolutionTasks(const char* label, i64 n,
   // fraction of resolution wall time spent inside pool fan-outs), so a
   // parallel window outside an open resolution window would make the subset
   // accounting meaningless.
-  PP_ASSERT_MSG(resolutionTimerActive_,
+  PP_ASSERT_MSG(ResolutionTimer::openOnThisThread(*this),
                 "parallel resolution tasks outside a resolution wall-time window");
   trace::Span span(config_.tracer, "runtime", label, {}, {{"tasks", n}});
   auto t0 = std::chrono::steady_clock::now();
@@ -486,19 +610,27 @@ std::vector<Runtime::PlanAcquisition> Runtime::acquirePlans(
     // Cache off: the paper's runtime re-enumerates every launch.  The
     // enumeration is still materialized (concurrently) into pass-local plans
     // so the tracker phase can replay it; the recorded ranges are exactly
-    // what a live enumerate() call would have emitted.
-    std::vector<std::shared_ptr<LaunchPlan>> fresh(acqs.size());
+    // what a live enumerate() call would have emitted.  Plans the submitting
+    // thread already pre-materialized (pipelined mode) are reused directly.
+    std::vector<std::size_t> need;  // acq indices without a prebuilt plan
+    for (std::size_t ai = 0; ai < acqs.size(); ++ai) {
+      if (activePending_ != nullptr && !activePending_->prebuilt.empty())
+        acqs[ai].plan = findPrebuilt(
+            codegen::EnumerationKey::of(acqs[ai].tuple, cfg, scalars));
+      if (acqs[ai].plan == nullptr) need.push_back(ai);
+    }
+    std::vector<std::shared_ptr<LaunchPlan>> fresh(need.size());
     for (auto& p : fresh) p = std::make_shared<LaunchPlan>(numEnums);
     runResolutionTasks(
-        "phase1:materialize", static_cast<i64>(acqs.size() * numEnums),
+        "phase1:materialize", static_cast<i64>(need.size() * numEnums),
         [&](i64 t) {
-          const std::size_t ai = static_cast<std::size_t>(t) / numEnums;
+          const std::size_t ni = static_cast<std::size_t>(t) / numEnums;
           const std::size_t ei = static_cast<std::size_t>(t) % numEnums;
-          (*fresh[ai])[ei] =
-              ke.enumerators[ei].materialize(acqs[ai].tuple, cfg, scalars);
+          (*fresh[ni])[ei] =
+              ke.enumerators[ei].materialize(acqs[need[ni]].tuple, cfg, scalars);
         });
-    for (std::size_t ai = 0; ai < acqs.size(); ++ai)
-      acqs[ai].plan = std::move(fresh[ai]);
+    for (std::size_t ni = 0; ni < need.size(); ++ni)
+      acqs[need[ni]].plan = std::move(fresh[ni]);
     return acqs;
   }
 
@@ -534,16 +666,27 @@ std::vector<Runtime::PlanAcquisition> Runtime::acquirePlans(
     simPresent.insert(keys[ai]);
     simOrder.push_back(keys[ai]);
   }
-  std::vector<std::shared_ptr<LaunchPlan>> built(missing.size());
-  for (auto& p : built) p = std::make_shared<LaunchPlan>(numEnums);
+  // Predicted misses already pre-materialized at submission (pipelined mode)
+  // are taken as-is; only the remainder fans out to the pool.
+  std::vector<std::shared_ptr<const LaunchPlan>> built(missing.size());
+  std::vector<std::size_t> toBuild;  // indices into `missing`
+  for (std::size_t mi = 0; mi < missing.size(); ++mi) {
+    if (activePending_ != nullptr && !activePending_->prebuilt.empty())
+      built[mi] = findPrebuilt(keys[missing[mi]]);
+    if (built[mi] == nullptr) toBuild.push_back(mi);
+  }
+  std::vector<std::shared_ptr<LaunchPlan>> freshBuilt(toBuild.size());
+  for (auto& p : freshBuilt) p = std::make_shared<LaunchPlan>(numEnums);
   runResolutionTasks(
-      "phase1:materialize", static_cast<i64>(missing.size() * numEnums),
+      "phase1:materialize", static_cast<i64>(toBuild.size() * numEnums),
       [&](i64 t) {
-        const std::size_t mi = static_cast<std::size_t>(t) / numEnums;
+        const std::size_t ti = static_cast<std::size_t>(t) / numEnums;
         const std::size_t ei = static_cast<std::size_t>(t) % numEnums;
-        (*built[mi])[ei] = ke.enumerators[ei].materialize(
-            acqs[missing[mi]].tuple, cfg, scalars);
+        (*freshBuilt[ti])[ei] = ke.enumerators[ei].materialize(
+            acqs[missing[toBuild[ti]]].tuple, cfg, scalars);
       });
+  for (std::size_t ti = 0; ti < toBuild.size(); ++ti)
+    built[toBuild[ti]] = std::move(freshBuilt[ti]);
 
   // Commit in canonical GPU order, replaying resolvePlan's counter and FIFO
   // semantics exactly (including eviction thrash when the capacity is
@@ -767,14 +910,17 @@ void Runtime::updateTrackersParallel(KernelEntry& ke, const LaunchConfig& cfg,
   }
 }
 
-void Runtime::launch(const std::string& kernelName, const Dim3& grid,
-                     const Dim3& block, std::span<const LaunchArg> args) {
+Runtime::PendingLaunch Runtime::prepareLaunch(const std::string& kernelName,
+                                              const Dim3& grid,
+                                              const Dim3& block,
+                                              std::span<const LaunchArg> args,
+                                              TenantId tenant) {
+  PP_ASSERT_MSG(tenant >= 0 && tenant < config_.numTenants,
+                "launch for unknown tenant");
   KernelEntry& ke = entry(kernelName);
   const KernelModel& model = *ke.model;
   PP_ASSERT_MSG(args.size() + 6 == ke.partitioned->numParams(),
                 "kernel argument count mismatch");
-  trace::LaunchScope launchScope(config_.tracer, kernelName);
-  ++stats_.launches;
 
   // Validate the model's launch assumptions (axes the kernel ignores).
   const i64 gridAxes[3] = {grid.x, grid.y, grid.z};
@@ -788,16 +934,97 @@ void Runtime::launch(const std::string& kernelName, const Dim3& grid,
                   ir::axisName(static_cast<ir::Axis>(a)) + " == 1");
   }
 
-  LaunchConfig cfg{grid, block};
+  PendingLaunch pl;
+  pl.tenant = tenant;
+  pl.ke = &ke;
+  pl.cfg = LaunchConfig{grid, block};
+  pl.args.assign(args.begin(), args.end());
 
   // Scalars for the enumerators: i64 scalar args in declaration order.
-  std::vector<i64> scalars;
+  // The tenancy invariant is checked in the same walk: a launch may only
+  // reference buffers of the tenant that submitted it.
   for (std::size_t i = 0; i < args.size(); ++i) {
     const analysis::ParamInfo& p = model.params[i];
     PP_ASSERT_MSG(p.isArray == (args[i].buffer != nullptr),
                   "scalar/array launch argument mismatch");
-    if (!p.isArray && p.type == ir::Type::I64) scalars.push_back(args[i].scalar.i);
+    if (args[i].buffer != nullptr)
+      PP_ASSERT_MSG(args[i].buffer->tenant() == tenant,
+                    "launch references another tenant's buffer");
+    if (!p.isArray && p.type == ir::Type::I64)
+      pl.scalars.push_back(args[i].scalar.i);
   }
+  return pl;
+}
+
+void Runtime::prebuildPlans(PendingLaunch& pl) {
+  // Pure pre-materialization on the submitting thread: this is the
+  // resolve-of-launch-N+1 half of the pipeline overlap.  Nothing here
+  // touches trackers, the machine, the real plan cache, or stats (beyond
+  // the wall-clock window) — only the *predicted* cache state advances,
+  // under submitMutex_, in epoch order, replaying the FIFO logic the
+  // commits will perform.  Both commit phases (read sync, tracker update)
+  // resolve the same keys, so the prediction simulates two passes.
+  if (!config_.enableDependencyResolution) return;
+  KernelEntry& ke = *pl.ke;
+  ResolutionTimer timer(*this);
+  trace::Span span(config_.tracer, "runtime", "pipeline:prebuild:",
+                   ke.model->kernel);
+  const LaunchConfig& cfg = pl.cfg;
+  std::span<const i64> scalars(pl.scalars);
+
+  std::vector<PartitionTuple> tuples;
+  for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
+    GridPartition gp = partitionFor(*ke.model, cfg.grid, gpu);
+    if (gp.blockCount() == 0) continue;
+    tuples.push_back(PartitionTuple::fromBlocks(gp, cfg.block));
+  }
+
+  auto addPlan = [&](const codegen::EnumerationKey& key,
+                     const PartitionTuple& tuple) {
+    for (const auto& [k, plan] : pl.prebuilt)
+      if (k == key) return;
+    auto plan = std::make_shared<LaunchPlan>();
+    plan->reserve(ke.enumerators.size());
+    for (const Enumerator& e : ke.enumerators)
+      plan->push_back(e.materialize(tuple, cfg, scalars));
+    pl.prebuilt.emplace_back(key, std::move(plan));
+  };
+
+  if (!config_.enableEnumerationCache) {
+    for (const PartitionTuple& tuple : tuples)
+      addPlan(codegen::EnumerationKey::of(tuple, cfg, scalars), tuple);
+    return;
+  }
+
+  const i64 cap = config_.enumerationCachePlansPerKernel;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const PartitionTuple& tuple : tuples) {
+      codegen::EnumerationKey key =
+          codegen::EnumerationKey::of(tuple, cfg, scalars);
+      if (ke.predictedPresent.count(key) != 0) continue;  // predicted hit
+      addPlan(key, tuple);
+      if (cap > 0 && static_cast<i64>(ke.predictedPresent.size()) >= cap) {
+        ke.predictedPresent.erase(ke.predictedOrder.front());
+        ke.predictedOrder.pop_front();
+      }
+      ke.predictedPresent.insert(key);
+      ke.predictedOrder.push_back(key);
+    }
+  }
+}
+
+void Runtime::executeLaunch(PendingLaunch& pl) {
+  KernelEntry& ke = *pl.ke;
+  const KernelModel& model = *ke.model;
+  const std::string& kernelName = model.kernel;
+  const LaunchConfig& cfg = pl.cfg;
+  const Dim3& grid = cfg.grid;
+  const Dim3& block = cfg.block;
+  std::span<const LaunchArg> args(pl.args);
+  std::span<const i64> scalars(pl.scalars);
+
+  trace::LaunchScope launchScope(config_.tracer, kernelName);
+  ++stats_.launches;
 
   // (2) Synchronize all buffers the kernel reads (Fig. 4, first loop).  The
   // producing kernels must have completed before their output can be copied,
@@ -927,6 +1154,186 @@ void Runtime::launch(const std::string& kernelName, const Dim3& grid,
       updateTrackersParallel(ke, cfg, args, scalars);
     else
       updateTrackers(ke, cfg, args, scalars);
+  }
+}
+
+void Runtime::commitLaunch(PendingLaunch& pl) {
+  // activePending_ exposes the prebuilt plans to resolvePlan/acquirePlans
+  // and the issue tag to issueTransferPlan for the duration of this commit;
+  // the guard clears it even when executeLaunch throws.
+  struct ActiveGuard {
+    Runtime& rt;
+    ~ActiveGuard() { rt.activePending_ = nullptr; }
+  } guard{*this};
+  activePending_ = &pl;
+  machine_->setLaunchTag(pl.tenant);
+  const RuntimeStats before = statsSnapshot();
+  executeLaunch(pl);
+  const RuntimeStats after = statsSnapshot();
+  std::lock_guard<std::mutex> lock(tenantMutex_);
+  TenantState& ts = tenants_[static_cast<std::size_t>(pl.tenant)];
+  addStatsDiff(ts.stats.resolved, before, after);
+  ++ts.stats.completed;
+}
+
+std::optional<i64> Runtime::submitImpl(const std::string& kernelName,
+                                       const Dim3& grid, const Dim3& block,
+                                       std::span<const LaunchArg> args,
+                                       TenantId tenant, bool blocking) {
+  if (!pipelined()) {
+    // Serial paper path: validate, commit synchronously, retire the ticket
+    // before returning.  epoch stays -1, so the trace output (no tags) is
+    // the classic one.
+    PendingLaunch pl = prepareLaunch(kernelName, grid, block, args, tenant);
+    {
+      std::lock_guard<std::mutex> lock(tenantMutex_);
+      ++tenants_[static_cast<std::size_t>(tenant)].stats.submitted;
+    }
+    commitLaunch(pl);
+    return serialNextTicket_++;
+  }
+
+  rethrowPipelineError();
+  PendingLaunch pl = prepareLaunch(kernelName, grid, block, args, tenant);
+
+  // Admission control: bound this tenant's outstanding launches before the
+  // request may occupy pipeline capacity.
+  {
+    std::unique_lock<std::mutex> lock(tenantMutex_);
+    TenantState& ts = tenants_[static_cast<std::size_t>(tenant)];
+    const i64 cap = config_.maxInFlightPerTenant;
+    if (cap > 0) {
+      if (!blocking && ts.inFlight >= cap) {
+        ++ts.stats.rejected;
+        trace::tenantInstant(config_.tracer, tenant, "runtime",
+                             "admission-reject", {{"in-flight", ts.inFlight}});
+        return std::nullopt;
+      }
+      admissionCv_.wait(lock, [&] { return ts.inFlight < cap; });
+    }
+    ++ts.inFlight;
+    ++ts.stats.submitted;
+    trace::tenantCounter(config_.tracer, tenant, "runtime", "in-flight",
+                         ts.inFlight);
+  }
+
+  // {prediction advance, epoch issue, queue push} is atomic under
+  // submitMutex_, so queue order == epoch order (the EpochClock asserts
+  // this) and the cache-FIFO prediction advances in epoch order.  push()
+  // blocking on a full queue is the pipeline-depth backpressure.
+  std::lock_guard<std::mutex> lock(submitMutex_);
+  prebuildPlans(pl);
+  const i64 epoch = pipeline_->epochs.issue();
+  pl.epoch = epoch;
+  trace::tenantInstant(config_.tracer, tenant, "runtime", "submit",
+                       {{"epoch", epoch}});
+  const bool accepted = pipeline_->queue.push(std::move(pl));
+  PP_ASSERT_MSG(accepted, "submit to a shut-down runtime");
+  return epoch;
+}
+
+i64 Runtime::submit(const std::string& kernelName, const Dim3& grid,
+                    const Dim3& block, std::span<const LaunchArg> args,
+                    TenantId tenant) {
+  std::optional<i64> ticket =
+      submitImpl(kernelName, grid, block, args, tenant, /*blocking=*/true);
+  PP_ASSERT(ticket.has_value());
+  return *ticket;
+}
+
+std::optional<i64> Runtime::trySubmit(const std::string& kernelName,
+                                      const Dim3& grid, const Dim3& block,
+                                      std::span<const LaunchArg> args,
+                                      TenantId tenant) {
+  return submitImpl(kernelName, grid, block, args, tenant, /*blocking=*/false);
+}
+
+void Runtime::launch(const std::string& kernelName, const Dim3& grid,
+                     const Dim3& block, std::span<const LaunchArg> args,
+                     TenantId tenant) {
+  wait(submit(kernelName, grid, block, args, tenant));
+}
+
+void Runtime::wait(i64 ticket) {
+  if (!pipelined()) return;  // serial tickets are retired at submit
+  pipeline_->epochs.waitFor(ticket);
+  rethrowPipelineError();
+}
+
+void Runtime::drain() {
+  if (!pipelined()) return;
+  pipeline_->epochs.waitIdle();
+  rethrowPipelineError();
+}
+
+bool Runtime::pipelineIdle() const {
+  return pipeline_ == nullptr || pipeline_->epochs.idle();
+}
+
+TenantStats Runtime::tenantStats(TenantId tenant) {
+  PP_ASSERT_MSG(tenant >= 0 && tenant < config_.numTenants,
+                "stats for unknown tenant");
+  drain();
+  std::lock_guard<std::mutex> lock(tenantMutex_);
+  return tenants_[static_cast<std::size_t>(tenant)].stats;
+}
+
+void Runtime::setCommitObserver(std::function<void(i64, TenantId)> fn) {
+  PP_ASSERT_MSG(pipelineIdle(),
+                "commit observer may only change while the pipeline is idle");
+  commitObserver_ = std::move(fn);
+}
+
+void Runtime::rethrowPipelineError() {
+  if (pipeline_ == nullptr ||
+      !pipeline_->failed.load(std::memory_order_acquire))
+    return;
+  std::lock_guard<std::mutex> lock(pipeline_->errorMutex);
+  if (pipeline_->error != nullptr) {
+    std::exception_ptr first = std::exchange(pipeline_->error, nullptr);
+    std::rethrow_exception(first);
+  }
+  // The original failure was already delivered to some caller; everything
+  // after it sees the pipeline as poisoned.
+  throw Error("launch pipeline poisoned by an earlier failure");
+}
+
+RuntimeStats Runtime::statsSnapshot() const {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  return stats_;
+}
+
+void Runtime::pipelineLoop() {
+  if (config_.tracer != nullptr)
+    config_.tracer->nameCurrentThread("pipeline engine");
+  while (std::optional<PendingLaunch> pl = pipeline_->queue.pop()) {
+    const i64 epoch = pl->epoch;
+    const TenantId tenant = pl->tenant;
+    if (commitObserver_) commitObserver_(epoch, tenant);
+    // A poisoned pipeline stops touching machine/tracker state, but epochs
+    // still retire and in-flight counts still drop so no waiter hangs.
+    if (!pipeline_->failed.load(std::memory_order_acquire)) {
+      try {
+        commitLaunch(*pl);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(pipeline_->errorMutex);
+          pipeline_->error = std::current_exception();
+        }
+        pipeline_->failed.store(true, std::memory_order_release);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(tenantMutex_);
+      TenantState& ts = tenants_[static_cast<std::size_t>(tenant)];
+      --ts.inFlight;
+      trace::tenantCounter(config_.tracer, tenant, "runtime", "in-flight",
+                           ts.inFlight);
+    }
+    admissionCv_.notify_all();
+    trace::tenantInstant(config_.tracer, tenant, "runtime", "commit",
+                         {{"epoch", epoch}});
+    pipeline_->epochs.commit(epoch);
   }
 }
 

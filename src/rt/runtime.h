@@ -25,14 +25,27 @@
 // tracker work is sharded per destination buffer, and transfer decisions are
 // replayed into the machine model in the canonical serial order, keeping
 // results and modeled timing byte-identical with threads on or off.
+//
+// RuntimeConfig::pipelineDepth adds an asynchronous pipelined launch engine
+// on top (see DESIGN.md "Pipelined launches & tenancy"): submit() prepares
+// and pre-materializes launch N+1 on the calling thread while a dedicated
+// engine thread commits launch N, with per-launch epochs keeping the commit
+// strictly in submission order so results stay byte-identical to the serial
+// path.  RuntimeConfig::numTenants shards the runtime into client contexts
+// multiplexed onto the one machine, with per-tenant stats and admission
+// control (maxInFlightPerTenant).
 
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/model.h"
@@ -137,6 +150,27 @@ struct RuntimeConfig {
   /// collection "yields accurate results at the expense of significant
   /// runtime overhead").
   double instrumentationSlowdown = 2.0;
+  /// Asynchronous pipelined launch engine (see DESIGN.md "Pipelined launches
+  /// & tenancy").  0 (default): the paper's synchronous path — launch()
+  /// resolves, transfers, and executes before returning, bit-for-bit
+  /// today's behaviour.  N > 0: submit() enqueues launches onto a dedicated
+  /// engine thread and may run up to N launches ahead of the in-order
+  /// commit, pre-materializing their launch plans (the pure polyhedral
+  /// enumeration) on the submitting thread so resolution of launch N+1
+  /// overlaps execution of launch N.  Functional results, tracker state,
+  /// modeled timing, and RuntimeStats (minus the wall-clock/task
+  /// meta-counters) are byte-identical at every depth.
+  int pipelineDepth = 0;
+  /// Client contexts sharded onto this runtime (>= 1).  Each tenant owns the
+  /// buffers it allocates (malloc(bytes, tenant)); a launch may only
+  /// reference its own tenant's buffers, and per-tenant counters accumulate
+  /// into tenantStats().  1 (default): the classic single-client runtime.
+  int numTenants = 1;
+  /// Admission control: maximum launches a tenant may have in flight
+  /// (submitted but not yet committed) before trySubmit() rejects and
+  /// submit() blocks.  0 (default) = unbounded.  Only meaningful with
+  /// pipelineDepth > 0 (the serial path commits within submit()).
+  i64 maxInFlightPerTenant = 0;
   /// Launch-pipeline tracer (support/trace.h).  When set, the runtime, the
   /// machine model, and the resolution thread pool record structured events
   /// — launch/sync/update spans, plan-cache hit/miss/evict, per-transfer
@@ -149,18 +183,30 @@ struct RuntimeConfig {
   trace::Tracer* tracer = nullptr;
 };
 
+/// Client context ordinal of the multi-tenant runtime; tenant 0 is the
+/// default used by every single-client entry point.
+using TenantId = int;
+
 /// A "virtual buffer": per-device instances + ownership tracker.
 class VirtualBuffer {
  public:
   i64 bytes() const { return bytes_; }
   const SegmentTracker& tracker() const { return tracker_; }
+  /// The client context that allocated this buffer (sharding invariant:
+  /// only that tenant's launches may reference it).
+  TenantId tenant() const { return tenant_; }
 
  private:
   friend class Runtime;
   friend class TransferPlan;  // issues scheduled copies between instances
-  VirtualBuffer(i64 bytes, std::vector<sim::DevBuffer> instances)
-      : bytes_(bytes), instances_(std::move(instances)), tracker_(bytes) {}
+  VirtualBuffer(i64 bytes, std::vector<sim::DevBuffer> instances,
+                TenantId tenant)
+      : bytes_(bytes),
+        tenant_(tenant),
+        instances_(std::move(instances)),
+        tracker_(bytes) {}
   i64 bytes_ = 0;
+  TenantId tenant_ = 0;
   std::vector<sim::DevBuffer> instances_;  // one per device
   SegmentTracker tracker_;
 };
@@ -204,6 +250,22 @@ struct RuntimeStats {
   bool operator==(const RuntimeStats&) const = default;
 };
 
+/// Per-tenant slice of the runtime's accounting (Runtime::tenantStats).
+struct TenantStats {
+  i64 submitted = 0;  // launches accepted (serial launches included)
+  i64 rejected = 0;   // trySubmit() admission-control rejections
+  i64 completed = 0;  // launches committed by the engine
+  /// This tenant's share of the RuntimeStats counters: the difference of the
+  /// aggregate counters across each of its launches, accumulated at commit.
+  /// The wall-clock meta-counters follow the same caveat as RuntimeStats —
+  /// submit-side pre-materialization windows of *other* tenants that overlap
+  /// a commit land in whichever launch is committing, so only the fields
+  /// above the meta-counter line are deterministic.
+  RuntimeStats resolved;
+
+  bool operator==(const TenantStats&) const = default;
+};
+
 class Runtime {
  public:
   /// Builds the runtime for an application: partitions every kernel
@@ -219,7 +281,10 @@ class Runtime {
   sim::Machine& machine() { return *machine_; }
 
   // -- CUDA Runtime replacement (Section 8.4) --------------------------------
-  VirtualBuffer* malloc(i64 bytes);
+  /// Allocates a virtual buffer owned by `tenant` (0 = the single-client
+  /// default).  In pipelined mode allocation drains the pipeline first, so
+  /// machine operations keep program order.
+  VirtualBuffer* malloc(i64 bytes, TenantId tenant = 0);
   /// Releases a buffer obtained from malloc().  Freeing the same buffer
   /// twice, or a pointer this runtime never allocated, is a contract
   /// violation and raises a diagnosable assertion instead of corrupting the
@@ -234,13 +299,51 @@ class Runtime {
   void deviceSynchronize();
 
   /// Partitioned kernel launch (Fig. 4).  `grid`/`block` are the original
-  /// single-GPU configuration.
+  /// single-GPU configuration.  In pipelined mode this is submit() + wait():
+  /// synchronous semantics, pipelined machinery.
   void launch(const std::string& kernelName, const ir::Dim3& grid,
-              const ir::Dim3& block, std::span<const LaunchArg> args);
+              const ir::Dim3& block, std::span<const LaunchArg> args,
+              TenantId tenant = 0);
+
+  // -- pipelined submission (RuntimeConfig::pipelineDepth > 0) ---------------
+  /// Enqueues a launch and returns its epoch (a ticket for wait()).  The
+  /// launch is validated and its plans pre-materialized on this thread; the
+  /// engine thread commits epochs strictly in submission order.  Blocks on
+  /// admission control (maxInFlightPerTenant) and on a full pipeline.  With
+  /// pipelineDepth == 0 the launch commits before returning (the ticket is
+  /// already retired).  Thread-safe: multiple tenants may submit
+  /// concurrently; the relative order of concurrent submissions is decided
+  /// by the epoch each one is assigned.
+  i64 submit(const std::string& kernelName, const ir::Dim3& grid,
+             const ir::Dim3& block, std::span<const LaunchArg> args,
+             TenantId tenant = 0);
+  /// submit() that rejects instead of blocking when the tenant is at its
+  /// admission limit; nullopt = rejected (counted in TenantStats::rejected).
+  std::optional<i64> trySubmit(const std::string& kernelName,
+                               const ir::Dim3& grid, const ir::Dim3& block,
+                               std::span<const LaunchArg> args,
+                               TenantId tenant = 0);
+  /// Blocks until `ticket` (a submit() epoch) has committed, then rethrows
+  /// the first pipeline failure if one occurred.
+  void wait(i64 ticket);
+  /// Blocks until every submitted launch has committed (no-op when serial).
+  void drain();
+  /// True when no submitted launch is outstanding (always true when serial).
+  bool pipelineIdle() const;
+  /// Per-tenant counters; drains first so the numbers are settled.
+  TenantStats tenantStats(TenantId tenant);
+  /// Test hook: invoked on the engine thread immediately before each epoch
+  /// commits.  Set only while the pipeline is idle; pass nullptr to clear.
+  /// Blocking inside the observer stalls the commit stream deterministically
+  /// — that is exactly what the admission-control tests use it for.
+  void setCommitObserver(std::function<void(i64 epoch, TenantId tenant)> fn);
 
   /// End-to-end simulated time including outstanding asynchronous work.
   double elapsedSeconds() const;
 
+  /// Aggregate counters.  In pipelined mode, read these only while the
+  /// pipeline is idle (after drain(); the engine thread owns them while
+  /// launches are in flight).
   const RuntimeStats& stats() const { return stats_; }
   const sim::MachineStats& machineStats() const { return machine_->stats(); }
 
@@ -267,6 +370,14 @@ class Runtime {
                        codegen::EnumerationKeyHash>
         planCache;
     std::deque<codegen::EnumerationKey> planCacheOrder;
+    /// Pipelined-mode prediction of the cache's future contents: submission
+    /// replays the FIFO admission/eviction logic ahead of the commits that
+    /// will actually perform it, so the submitting thread pre-materializes
+    /// exactly the plans the committing launch would miss.  Guarded by
+    /// submitMutex_ (prediction must advance in epoch order).
+    std::unordered_set<codegen::EnumerationKey, codegen::EnumerationKeyHash>
+        predictedPresent;
+    std::deque<codegen::EnumerationKey> predictedOrder;
   };
 
   /// One GPU partition's launch plan for the current pass: the materialized
@@ -279,11 +390,39 @@ class Runtime {
     bool cached = false;
   };
 
-  /// RAII wall-clock window accumulating into stats_.resolutionWallSeconds.
-  /// Windows must not nest: each launch phase (read sync, tracker update)
-  /// opens exactly one, so a launch's resolution wall time is counted once.
-  /// Nesting would double-count real time and is asserted against.
+  /// RAII wall-clock window accumulating into stats_.resolutionWallSeconds
+  /// (under statsMutex_: pipelined mode opens windows on the submitting
+  /// thread — pre-materialization — concurrently with the engine thread's
+  /// launch phases).  Windows may overlap across threads but must not nest
+  /// on one thread for the same runtime: that would double-count the same
+  /// real time, and is asserted against via a thread-local active-window
+  /// marker (the fix for the old per-runtime flag, which would have fired
+  /// spuriously on legitimate cross-thread overlap).
   class ResolutionTimer;
+
+  /// A validated launch waiting in the pipeline: everything executeLaunch()
+  /// needs, plus the plans pre-materialized at submission.
+  struct PendingLaunch {
+    i64 epoch = -1;
+    TenantId tenant = 0;
+    KernelEntry* ke = nullptr;
+    ir::LaunchConfig cfg;
+    std::vector<LaunchArg> args;
+    std::vector<i64> scalars;
+    /// Plans materialized on the submitting thread, keyed by enumeration
+    /// key.  With the cache on these are the *predicted* misses of the
+    /// cache-FIFO replay; with it off, every non-empty partition's plan.
+    /// Consulted by resolvePlan()/acquirePlans() during commit; a mispredict
+    /// merely falls back to materializing there (correctness never depends
+    /// on the prediction).
+    std::vector<std::pair<codegen::EnumerationKey,
+                          std::shared_ptr<const LaunchPlan>>>
+        prebuilt;
+  };
+
+  /// Pipeline machinery (queue, epoch clock, engine thread); null when
+  /// pipelineDepth == 0.  Defined in runtime.cpp.
+  struct Pipeline;
 
   const KernelEntry& entry(const std::string& name) const;
   KernelEntry& entry(const std::string& name);
@@ -332,6 +471,38 @@ class Runtime {
   void runResolutionTasks(const char* label, i64 n,
                           const std::function<void(i64)>& body);
 
+  // -- pipelined launch engine (RuntimeConfig::pipelineDepth > 0) ------------
+  bool pipelined() const { return pipeline_ != nullptr; }
+  /// Validates a launch request and captures everything executeLaunch()
+  /// needs (the front half of the old launch(), minus any machine/tracker
+  /// state).  Runs on the submitting thread.
+  PendingLaunch prepareLaunch(const std::string& kernelName,
+                              const ir::Dim3& grid, const ir::Dim3& block,
+                              std::span<const LaunchArg> args, TenantId tenant);
+  /// Pure plan pre-materialization on the submitting thread.  Caller holds
+  /// submitMutex_, which makes the cache-FIFO prediction advance in epoch
+  /// order.
+  void prebuildPlans(PendingLaunch& pl);
+  /// The Fig. 4 flow against a prepared launch: sync reads, launch the
+  /// partitions, update trackers.  Engine thread (or the calling thread in
+  /// serial mode) — all machine/tracker/stats state is touched here only.
+  void executeLaunch(PendingLaunch& pl);
+  /// executeLaunch() plus the per-tenant stats diff accounting.
+  void commitLaunch(PendingLaunch& pl);
+  /// The prebuilt plan for `key` of the launch currently committing, if the
+  /// submitting thread materialized one.
+  std::shared_ptr<const LaunchPlan> findPrebuilt(
+      const codegen::EnumerationKey& key) const;
+  std::optional<i64> submitImpl(const std::string& kernelName,
+                                const ir::Dim3& grid, const ir::Dim3& block,
+                                std::span<const LaunchArg> args,
+                                TenantId tenant, bool blocking);
+  /// Engine-thread main loop: pop, commit in epoch order, retire.
+  void pipelineLoop();
+  /// Rethrows (once) the first failure captured on the engine thread.
+  void rethrowPipelineError();
+  RuntimeStats statsSnapshot() const;
+
   RuntimeConfig config_;
   analysis::ApplicationModel model_;
   std::unique_ptr<sim::Machine> machine_;
@@ -342,7 +513,29 @@ class Runtime {
   /// free from a free of a pointer this runtime never allocated.
   std::vector<const VirtualBuffer*> freedBuffers_;
   RuntimeStats stats_;
-  bool resolutionTimerActive_ = false;  // ResolutionTimer non-overlap guard
+  /// Guards the cross-thread RuntimeStats fields: submit threads accumulate
+  /// resolutionWallSeconds while the engine thread owns everything else, and
+  /// statsSnapshot() copies the whole struct under this lock.
+  mutable std::mutex statsMutex_;
+
+  // -- pipelined launch engine state -----------------------------------------
+  std::unique_ptr<Pipeline> pipeline_;  // null when pipelineDepth == 0
+  /// Serializes epoch issue + enqueue (and the cache-FIFO prediction), so
+  /// concurrent submitters reach the queue in epoch order.
+  std::mutex submitMutex_;
+  /// Guards tenants_ (admission counters + per-tenant stats).
+  mutable std::mutex tenantMutex_;
+  std::condition_variable admissionCv_;
+  struct TenantState {
+    i64 inFlight = 0;  // submitted, not yet committed
+    TenantStats stats;
+  };
+  std::vector<TenantState> tenants_;
+  /// The launch currently committing (engine thread only); resolvePlan /
+  /// acquirePlans consult its prebuilt plans through findPrebuilt().
+  const PendingLaunch* activePending_ = nullptr;
+  std::function<void(i64, TenantId)> commitObserver_;
+  i64 serialNextTicket_ = 0;  // submit() tickets in serial mode
 };
 
 }  // namespace polypart::rt

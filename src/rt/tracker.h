@@ -100,12 +100,39 @@ class SegmentTrackerT {
   i64 size() const { return size_; }
   std::size_t segmentCount() const { return segments_.size(); }
 
+  /// Mutation counter: bumped by every update()/addSharer() that reached the
+  /// segment map.  Cheap cross-launch fingerprint — the pipelined-launch
+  /// tests compare versions (and dump()s) to prove two interleavings drove a
+  /// tracker through the same state without walking it after every launch.
+  u64 version() const { return version_; }
+
+  /// One resolved segment of a dump(): [begin, end) owned by `owner`, valid
+  /// replicas on `sharers`.
+  struct DumpSegment {
+    i64 begin = 0;
+    i64 end = 0;
+    Owner owner = kOwnerUndefined;
+    u64 sharers = 0;
+    bool operator==(const DumpSegment&) const = default;
+  };
+
+  /// The full segment list in address order; equality of two dumps is
+  /// equality of the tracked ownership state.
+  std::vector<DumpSegment> dump() const {
+    std::vector<DumpSegment> out;
+    for (auto it = segments_.begin(); !it.atEnd(); it.next())
+      out.push_back(DumpSegment{it.key(), it.value().end, it.value().owner,
+                                it.value().sharers});
+    return out;
+  }
+
   /// Records that [begin, end) now has its most recent copy on `owner`.
   /// A write invalidates every other copy: the sharer set collapses to the
   /// owner alone.
   void update(i64 begin, i64 end, Owner owner) {
     clamp(begin, end);
     if (begin >= end) return;
+    ++version_;
 
     // Split the segment containing `begin` when it straddles the boundary.
     splitAt(begin);
@@ -133,6 +160,7 @@ class SegmentTrackerT {
     // anyway would create adjacent segments with identical (owner, sharers)
     // state and rely on coalesceRange to re-merge every one of them.
     if (sharerBit(device) == 0) return;
+    ++version_;
     splitAt(begin);
     splitAt(end);
     for (auto it = segments_.lowerBound(begin); !it.atEnd() && it.key() < end;
@@ -285,6 +313,7 @@ class SegmentTrackerT {
   }
 
   i64 size_ = 0;
+  u64 version_ = 0;
   MapT<i64, Seg> segments_;
   mutable std::vector<i64> eraseScratch_;
 };

@@ -209,6 +209,11 @@ const std::vector<ScheduledTransfer>& TransferPlan::schedule() {
   return scheduled_;
 }
 
+void TransferPlan::setIssueTag(i64 epoch, int tenant) {
+  issueEpoch_ = epoch;
+  issueTenant_ = tenant;
+}
+
 const TransferPlanStats& TransferPlan::issue(sim::Machine& machine,
                                              trace::Tracer* tracer) {
   schedule();
@@ -216,7 +221,12 @@ const TransferPlanStats& TransferPlan::issue(sim::Machine& machine,
   int wave = -1;
   i64 waveCopies = 0;
   auto flushWave = [&] {
-    if (wave >= 0)
+    if (wave < 0) return;
+    if (issueEpoch_ >= 0)
+      trace::instant(tracer, "transfer", "plan-wave",
+                     {{"wave", wave}, {"copies", waveCopies},
+                      {"epoch", issueEpoch_}});
+    else
       trace::instant(tracer, "transfer", "plan-wave",
                      {{"wave", wave}, {"copies", waveCopies}});
   };
@@ -238,6 +248,10 @@ const TransferPlanStats& TransferPlan::issue(sim::Machine& machine,
                    {{"src", t.src}, {"dst", t.dst}, {"bytes", t.end - t.begin}});
   }
   flushWave();
+  if (issueEpoch_ >= 0 && !scheduled_.empty())
+    trace::tenantInstant(tracer, issueTenant_, "transfer", "plan-issued",
+                         {{"epoch", issueEpoch_},
+                          {"copies", static_cast<i64>(scheduled_.size())}});
   return stats_;
 }
 

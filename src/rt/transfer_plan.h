@@ -109,8 +109,17 @@ class TransferPlan {
 
   const TransferPlanStats& stats() const { return stats_; }
 
+  /// Tags this plan's trace output with the launch that issues it: the wave
+  /// instants carry the launch `epoch`, and a tenant-domain summary instant
+  /// attributes the issued copies to `tenant`'s track (trace.h kTenantPid).
+  /// Untagged plans (epoch < 0, the default) emit the classic events only —
+  /// the pipelined runtime tags, the serial paper path does not.
+  void setIssueTag(i64 epoch, int tenant);
+
  private:
   Options opts_;
+  i64 issueEpoch_ = -1;
+  int issueTenant_ = 0;
   std::vector<TransferRecord> records_;
   std::vector<ScheduledTransfer> scheduled_;
   bool scheduled_valid_ = false;

@@ -1,0 +1,153 @@
+#pragma once
+
+// Queue and epoch primitives for the pipelined launch engine (see DESIGN.md
+// "Pipelined launches & tenancy").
+//
+// The runtime's submission pipeline is a classic bounded producer/consumer
+// stage: callers enqueue prepared launches, one engine thread dequeues and
+// commits them in submission order.  Two small pieces keep that protocol
+// honest and reusable:
+//
+//  - BoundedQueue<T>: a mutex/cv bounded FIFO.  push() blocks while the
+//    queue is at capacity (that bound is the pipeline depth — how far ahead
+//    submission may run), pop() blocks while it is empty, and close() wakes
+//    everyone so producers stop and the consumer drains what remains.
+//  - EpochClock: a monotone launch-sequence clock.  issue() hands out epoch
+//    numbers at submission, commit() retires them strictly in order (the
+//    deterministic ordered commit extended across in-flight launches), and
+//    waitFor()/waitIdle() are the blocking primitives behind wait()/drain().
+//
+// Both are deliberately dumb — no lock-free tricks.  The pipeline's
+// determinism comes from the single consumer and the in-order commit, not
+// from the queue; contention is one launch descriptor per kernel launch,
+// far off any hot path.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "support/arith.h"
+#include "support/error.h"
+
+namespace polypart::support {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity must be positive: a zero-capacity queue could never accept a
+  /// push, deadlocking the first producer.
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    PP_ASSERT(capacity >= 1);
+  }
+
+  /// Blocks while the queue is full.  Returns false (dropping `v`) when the
+  /// queue was closed before space became available.
+  bool push(T v) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    notFull_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(v));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty.  Returns nullopt once the queue is
+  /// closed *and* drained, so a consumer loop processes every accepted item.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    notEmpty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    notFull_.notify_one();
+    return v;
+  }
+
+  /// Closes the queue: pending and future push() calls return false, pop()
+  /// drains the remaining items then returns nullopt.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable notFull_;
+  std::condition_variable notEmpty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Monotone epoch clock: epochs are issued 0, 1, 2, ... at submission and
+/// committed strictly in that order.  waitFor(e) blocks until epoch e has
+/// committed; waitIdle() until every issued epoch has.
+class EpochClock {
+ public:
+  /// Issues the next epoch number.
+  i64 issue() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nextIssue_++;
+  }
+
+  /// Retires `epoch`.  Commits must arrive in issue order — out-of-order
+  /// commit would break the pipeline's determinism contract, so it asserts.
+  void commit(i64 epoch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PP_ASSERT_MSG(epoch == committed_ + 1, "epochs must commit in issue order");
+    PP_ASSERT_MSG(epoch < nextIssue_, "commit of an epoch never issued");
+    committed_ = epoch;
+    cv_.notify_all();
+  }
+
+  /// Last committed epoch (-1 before any commit).
+  i64 committed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return committed_;
+  }
+
+  i64 issued() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nextIssue_;
+  }
+
+  /// Blocks until `epoch` has committed (returns immediately if it already
+  /// has, including for negative epochs).
+  void waitFor(i64 epoch) const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return committed_ >= epoch; });
+  }
+
+  /// Blocks until every issued epoch has committed.
+  void waitIdle() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return committed_ + 1 == nextIssue_; });
+  }
+
+  bool idle() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return committed_ + 1 == nextIssue_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  i64 nextIssue_ = 0;
+  i64 committed_ = -1;
+};
+
+}  // namespace polypart::support

@@ -92,12 +92,28 @@ void Tracer::counterImpl(const char* category, std::string name, i64 value) {
   append(Event::Kind::Counter, category, std::move(name), {Arg{"value", value}});
 }
 
+void Tracer::tenantInstantImpl(int tenant, const char* category,
+                               std::string name,
+                               std::initializer_list<Arg> args) {
+  Event& e = append(Event::Kind::Instant, category, std::move(name), args);
+  e.pid = kTenantPid;
+  e.track = tenant;
+}
+
+void Tracer::tenantCounterImpl(int tenant, const char* category,
+                               std::string name, i64 value) {
+  Event& e = append(Event::Kind::Counter, category, std::move(name),
+                    {Arg{"value", value}});
+  e.pid = kTenantPid;
+  e.track = tenant;
+}
+
 void Tracer::simSpanImpl(const char* category, std::string name, int simTid,
                          double startSeconds, double durationSeconds,
                          std::initializer_list<Arg> args) {
   Event& e = append(Event::Kind::Span, category, std::move(name), args);
-  e.sim = true;
-  e.simTid = simTid;
+  e.pid = kSimPid;
+  e.track = simTid;
   e.tsMicros = startSeconds * 1e6;
   e.durMicros = durationSeconds * 1e6;
 }
@@ -143,6 +159,11 @@ void Tracer::nameSimTrack(int simTid, std::string name) {
   simTrackNames_[simTid] = std::move(name);
 }
 
+void Tracer::nameTenantTrack(int tenant, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenantTrackNames_[tenant] = std::move(name);
+}
+
 std::size_t Tracer::eventCount() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t n = 0;
@@ -165,12 +186,21 @@ json::Value Tracer::toJson() const {
     m["args"] = std::move(args);
     events.push(std::move(m));
   };
-  meta(1, 0, "process_name", "host (wall clock)");
-  meta(2, 0, "process_name", "machine (simulated time)");
+  meta(kWallPid, 0, "process_name", "host (wall clock)");
+  meta(kSimPid, 0, "process_name", "machine (simulated time)");
+  // The tenant process appears only when the runtime actually recorded
+  // tenant-domain events (single-client traces stay two-process).
+  bool anyTenant = !tenantTrackNames_.empty();
   for (const auto& b : buffers_)
-    meta(1, b->tid, "thread_name",
+    for (const Event& e : b->events) anyTenant |= e.pid == kTenantPid;
+  if (anyTenant) meta(kTenantPid, 0, "process_name", "tenants (launch streams)");
+  for (const auto& b : buffers_)
+    meta(kWallPid, b->tid, "thread_name",
          b->name.empty() ? "thread " + std::to_string(b->tid) : b->name);
-  for (const auto& [tid, name] : simTrackNames_) meta(2, tid, "thread_name", name);
+  for (const auto& [tid, name] : simTrackNames_)
+    meta(kSimPid, tid, "thread_name", name);
+  for (const auto& [tid, name] : tenantTrackNames_)
+    meta(kTenantPid, tid, "thread_name", name);
 
   // Stable order: buffers in registration order, events in append order,
   // then a stable sort by timestamp (ordinals under deterministic mode, so
@@ -203,8 +233,8 @@ json::Value Tracer::toJson() const {
     v["ts"] = e.tsMicros;
     if (e.kind == Event::Kind::Span) v["dur"] = e.durMicros;
     if (e.kind == Event::Kind::Instant) v["s"] = "t";
-    v["pid"] = e.sim ? 2 : 1;
-    v["tid"] = e.sim ? e.simTid : tidOf[oi];
+    v["pid"] = e.pid;
+    v["tid"] = e.pid == kWallPid ? tidOf[oi] : e.track;
     json::Value args = json::Value::object();
     if (e.launch >= 0) args["launch"] = e.launch;
     for (int a = 0; a < e.numArgs; ++a)
@@ -233,7 +263,8 @@ std::vector<LaunchBreakdown> Tracer::phaseBreakdown() const {
   std::map<i64, LaunchBreakdown> by;
   for (const auto& b : buffers_) {
     for (const Event& e : b->events) {
-      if (e.kind != Event::Kind::Span || !e.sim || e.launch < 0) continue;
+      if (e.kind != Event::Kind::Span || e.pid != kSimPid || e.launch < 0)
+        continue;
       LaunchBreakdown& lb = by[e.launch];
       lb.launch = e.launch;
       const double secs = e.durMicros * 1e-6;

@@ -93,5 +93,119 @@ TEST(PipelineFuzz, RandomAffineKernelsPartitionExactly) {
   EXPECT_EQ(accepted, iters);
 }
 
+/// One generated kernel's state inside a tenant's launch stream: the kernel,
+/// its device buffers, and the host-side reference buffers the serial
+/// baseline runs against.
+struct TenantStream {
+  GeneratedKernel g;
+  i64 n = 0;
+  i64 elems = 0;
+  ir::LaunchConfig cfg;
+  std::vector<std::vector<double>> inputs;
+  std::vector<VirtualBuffer*> bufs;  // inputs... then the output buffer
+};
+
+TEST(PipelineFuzz, InterleavedTenantStreamsMatchSerialExecution) {
+  // Random multi-tenant launch streams: each tenant owns one generated
+  // kernel and its buffers; a randomized round-robin interleaves their
+  // submissions through the pipelined engine across pipeline depths, engine
+  // thread counts, cache settings, and transfer scheduling.  Every
+  // configuration must gather byte-identical outputs to the serial
+  // (depth 0, threads 0) runtime executing the same per-tenant streams.
+  const int iters = fuzz::caseCount(6);
+  for (int iter = 0; iter < iters; ++iter) {
+    fuzz::SeededRng rng(fuzz::seedFor(9393, iter));
+    SCOPED_TRACE(rng.replay());
+
+    // Generate one kernel per tenant; regenerate on the rare shapes the
+    // analyzer cannot accept is unnecessary (generate() only emits supported
+    // kernels), but keep module assembly shared across tenants.
+    const int tenants = 2 + static_cast<int>(rng.next() % 2);  // 2..3
+    ir::Module mod;
+    std::vector<TenantStream> streams(static_cast<std::size_t>(tenants));
+    for (int t = 0; t < tenants; ++t) {
+      TenantStream& s = streams[static_cast<std::size_t>(t)];
+      s.g = generate(rng, iter * 7 + t);
+      mod.addKernel(s.g.kernel);
+      s.n = s.g.is2d ? 17 : 257;
+      s.elems = s.g.is2d ? s.n * s.n : s.n;
+      s.cfg = s.g.is2d
+                  ? ir::LaunchConfig{{(s.n + 4) / 5, (s.n + 4) / 5, 1}, {5, 5, 1}}
+                  : ir::LaunchConfig{{(s.n + 63) / 64, 1, 1}, {64, 1, 1}};
+      s.inputs.resize(static_cast<std::size_t>(s.g.numInputs));
+      for (auto& buf : s.inputs) {
+        buf.resize(static_cast<std::size_t>(s.elems));
+        for (auto& v : buf) v = rng.uniform() * 4 - 2;
+      }
+    }
+    analysis::ApplicationModel model;
+    try {
+      model = analysis::analyzeModule(mod);
+    } catch (const UnsupportedKernelError& e) {
+      ADD_FAILURE() << "generated kernel rejected: " << e.what();
+      continue;
+    }
+
+    // The interleave order and per-tenant launch counts are drawn once and
+    // replayed identically under every engine configuration.
+    std::vector<int> order;
+    for (int t = 0; t < tenants; ++t) {
+      const int launches = 2 + static_cast<int>(rng.next() % 3);  // 2..4
+      for (int l = 0; l < launches; ++l) order.push_back(t);
+    }
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.next() % i]);
+
+    auto run = [&](int depth, int threads, bool cache, bool xferSched) {
+      RuntimeConfig rc;
+      rc.numGpus = 3;
+      rc.mode = sim::ExecutionMode::Functional;
+      rc.pipelineDepth = depth;
+      rc.resolutionThreads = threads;
+      rc.enableEnumerationCache = cache;
+      rc.transferScheduling = xferSched;
+      rc.numTenants = tenants;
+      Runtime rt(rc, model, mod);
+      for (int t = 0; t < tenants; ++t) {
+        TenantStream& s = streams[static_cast<std::size_t>(t)];
+        s.bufs.clear();
+        for (auto& buf : s.inputs) {
+          VirtualBuffer* vb = rt.malloc(s.elems * 8, t);
+          rt.memcpy(vb, buf.data(), s.elems * 8, MemcpyKind::HostToDevice);
+          s.bufs.push_back(vb);
+        }
+        s.bufs.push_back(rt.malloc(s.elems * 8, t));
+      }
+      for (int t : order) {
+        TenantStream& s = streams[static_cast<std::size_t>(t)];
+        std::vector<LaunchArg> args;
+        args.push_back(LaunchArg::ofInt(s.n));
+        for (VirtualBuffer* vb : s.bufs) args.push_back(LaunchArg::ofBuffer(vb));
+        rt.submit(s.g.kernel->name(), s.cfg.grid, s.cfg.block, args, t);
+      }
+      rt.drain();
+      std::vector<std::vector<double>> outs;
+      for (int t = 0; t < tenants; ++t) {
+        TenantStream& s = streams[static_cast<std::size_t>(t)];
+        std::vector<double> got(static_cast<std::size_t>(s.elems), -99.0);
+        rt.memcpy(got.data(), s.bufs.back(), s.elems * 8,
+                  MemcpyKind::DeviceToHost);
+        outs.push_back(std::move(got));
+      }
+      return outs;
+    };
+
+    const std::vector<std::vector<double>> serial =
+        run(/*depth=*/0, /*threads=*/0, /*cache=*/true, /*xferSched=*/false);
+    for (int depth : {1, 3})
+      for (int threads : {0, 2})
+        for (bool cache : {false, true})
+          for (bool xferSched : {false, true})
+            ASSERT_EQ(run(depth, threads, cache, xferSched), serial)
+                << "depth " << depth << " threads " << threads << " cache "
+                << cache << " xferSched " << xferSched;
+  }
+}
+
 }  // namespace
 }  // namespace polypart::rt

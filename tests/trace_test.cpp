@@ -79,7 +79,7 @@ TEST(Trace, ExportIsValidChromeTraceJson) {
     ASSERT_TRUE(ph == "X" || ph == "i" || ph == "C" || ph == "M") << ph;
     EXPECT_TRUE(e.at("name").isString());
     i64 pid = e.at("pid").asInt();
-    EXPECT_TRUE(pid == 1 || pid == 2);
+    EXPECT_TRUE(pid == 1 || pid == 2 || pid == 3);
     if (ph == "M") continue;  // metadata carries no timestamp
     EXPECT_GE(num(e.at("ts")), 0.0);
     if (ph == "X") {

@@ -99,6 +99,85 @@ void BM_EnumeratorEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_EnumeratorEvaluation)->Arg(1)->Arg(0)->ArgName("coalesce");
 
+// Execution-tier comparison on the enumeration miss path (DESIGN.md
+// "Execution tiers"): one kernel's full enumerator set (coalesce on) under
+// the interpreter, the bytecode VM, and the specializing VM.  The
+// specialized program is folded once outside the timed region — exactly the
+// runtime's situation when a launch configuration repeats but its plan
+// missed (or was evicted from) the enumeration cache.  Two regimes:
+// matmul's enumerations are bound by guard/bound evaluation, where
+// specialization pays off the most; hotspot's are dominated by the
+// per-row range emission of its stencil write, which every tier walks
+// identically, so the tiers converge there (the honest floor).
+void BM_EnumeratorTier(benchmark::State& state) {
+  static analysis::KernelModel hotspotModel =
+      analysis::analyzeKernel(*apps::buildHotspot());
+  static analysis::KernelModel matmulModel =
+      analysis::analyzeKernel(*apps::buildMatmul());
+  const bool isMatmul = state.range(0) != 0;
+  static std::vector<codegen::Enumerator> hotspotEs =
+      codegen::buildEnumerators(hotspotModel);
+  static std::vector<codegen::Enumerator> matmulEs =
+      codegen::buildEnumerators(matmulModel);
+  const auto tier = static_cast<codegen::EnumTier>(state.range(1));
+  ir::LaunchConfig cfg = isMatmul
+      ? ir::LaunchConfig{{512, 512, 1}, {16, 16, 1}}
+      : ir::LaunchConfig{{1024, 1024, 1}, {16, 16, 1}};
+  i64 scalars[] = {isMatmul ? 8192 : 16384};
+  codegen::PartitionTuple part = codegen::PartitionTuple::fromBlocks(
+      ir::GridPartition{{0, cfg.grid.y / 4, 0}, {cfg.grid.x, cfg.grid.y / 2, 1}},
+      cfg.block);
+  std::vector<codegen::Enumerator> local = isMatmul ? matmulEs : hotspotEs;
+  for (codegen::Enumerator& e : local) {
+    e.tier = tier;
+    if (tier == codegen::EnumTier::Specialized)
+      e.enumerate(part, cfg, scalars, [](i64, i64) {});  // warm the program cache
+  }
+  for (auto _ : state) {
+    i64 total = 0;
+    for (const codegen::Enumerator& e : local)
+      e.enumerate(part, cfg, scalars, [&](i64 b, i64 en) { total += en - b; });
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetLabel(std::string(isMatmul ? "matmul/" : "hotspot/") +
+                 codegen::enumTierName(tier));
+}
+BENCHMARK(BM_EnumeratorTier)
+    ->Args({0, static_cast<int>(codegen::EnumTier::Interpret)})
+    ->Args({0, static_cast<int>(codegen::EnumTier::Bytecode)})
+    ->Args({0, static_cast<int>(codegen::EnumTier::Specialized)})
+    ->Args({1, static_cast<int>(codegen::EnumTier::Interpret)})
+    ->Args({1, static_cast<int>(codegen::EnumTier::Bytecode)})
+    ->Args({1, static_cast<int>(codegen::EnumTier::Specialized)})
+    ->ArgNames({"kernel(0=hotspot,1=matmul)", "tier(0=interpret,1=bytecode,2=specialized)"});
+
+// First-call cost of the specializing tier: constant-folding the compiled
+// program against one parameter vector (the price a cache miss in the
+// specialized-program cache pays before the cheap evaluations begin).
+void BM_SpecializeProgram(benchmark::State& state) {
+  static analysis::KernelModel model = analysis::analyzeKernel(*apps::buildHotspot());
+  static std::vector<codegen::Enumerator> es = codegen::buildEnumerators(model);
+  ir::LaunchConfig cfg{{1024, 1024, 1}, {16, 16, 1}};
+  i64 scalars[] = {16384};
+  std::vector<codegen::Enumerator> local = es;
+  for (codegen::Enumerator& e : local) e.tier = codegen::EnumTier::Specialized;
+  // A fresh partition tuple per iteration defeats the FIFO-bounded program
+  // cache (64 entries, 512 distinct keys here), so nearly every enumerate()
+  // call runs the fold-and-insert miss path.
+  i64 row = 0;
+  for (auto _ : state) {
+    codegen::PartitionTuple part = codegen::PartitionTuple::fromBlocks(
+        ir::GridPartition{{0, row % 512, 0}, {1024, 512 + row % 512, 1}},
+        cfg.block);
+    ++row;
+    i64 total = 0;
+    for (const codegen::Enumerator& e : local)
+      e.enumerate(part, cfg, scalars, [&](i64 b, i64 en) { total += en - b; });
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_SpecializeProgram);
+
 void BM_InjectivityCheck(benchmark::State& state) {
   ir::KernelPtr k = apps::buildHotspot();
   for (auto _ : state) {

@@ -3,9 +3,10 @@
 # and a TSan configuration covering the parallel resolution engine — the same
 # recipes .claude/skills/verify/SKILL.md documents, run back to back.
 #
-#   scripts/check.sh            # everything (tier-1, asan, tsan)
+#   scripts/check.sh            # everything (tier-1, asan, tsan, bytecode)
 #   scripts/check.sh tier1      # just the default build + full test suite
 #   scripts/check.sh asan tsan  # just the sanitizer configurations
+#   scripts/check.sh bytecode   # sanitizer trees re-run under the bytecode tier
 #
 # Each configuration uses its own build tree (build/, build-asan/, build-tsan/;
 # all gitignored).  TSan cannot be combined with ASan in one tree — the
@@ -15,7 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan)
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan bytecode)
 
 run() {
   echo
@@ -63,8 +64,32 @@ for stage in "${stages[@]}"; do
         -LE fuzz
       run ctest --test-dir build-tsan -j "$jobs" --output-on-failure -L fuzz
       ;;
+    bytecode)
+      # Enumerator bytecode-VM tier pass: POLYPART_ENUMERATOR_TIER flips the
+      # RuntimeConfig *default*, so every suite that does not pin the knob
+      # re-runs on the compiled tier (configs that set enumeratorTier
+      # explicitly — e.g. the tier sweep — still test what they name).
+      # Reuses the sanitizer trees the asan/tsan stages configure.
+      run cmake -B build-asan -S . -DPOLYPART_SANITIZE=address,undefined
+      run cmake --build build-asan -j "$jobs"
+      run env POLYPART_ENUMERATOR_TIER=bytecode \
+        ctest --test-dir build-asan -j "$jobs" --output-on-failure -LE fuzz
+      run env POLYPART_ENUMERATOR_TIER=bytecode \
+        ctest --test-dir build-asan -j "$jobs" --output-on-failure -L fuzz
+      run cmake -B build-tsan -S . -DPOLYPART_SANITIZE=thread
+      run cmake --build build-tsan -j "$jobs"
+      # Same thread-sensitive selection as the tsan stage: the compiled tier
+      # adds a shared specialized-program cache to the concurrent
+      # materialization paths, which is exactly what TSan should see.
+      run env POLYPART_ENUMERATOR_TIER=bytecode \
+        ctest --test-dir build-tsan -j "$jobs" --output-on-failure \
+        -R 'ThreadPool|ParallelResolution|Pipelined|Pipeline|Runtime|EnumCache|Tracker|Trace' \
+        -LE fuzz
+      run env POLYPART_ENUMERATOR_TIER=bytecode \
+        ctest --test-dir build-tsan -j "$jobs" --output-on-failure -L fuzz
+      ;;
     *)
-      echo "unknown stage '$stage' (expected: tier1, asan, tsan)" >&2
+      echo "unknown stage '$stage' (expected: tier1, asan, tsan, bytecode)" >&2
       exit 2
       ;;
   esac

@@ -1,6 +1,10 @@
 #include "codegen/enumerator.h"
 
 #include <algorithm>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
 
 #include "support/str.h"
 
@@ -51,9 +55,9 @@ EnumerationKey EnumerationKey::of(const PartitionTuple& partition,
   return k;
 }
 
-std::size_t EnumerationKeyHash::operator()(const EnumerationKey& k) const {
+std::size_t EnumerationKeyHash::operator()(std::span<const i64> words) const {
   u64 h = 1469598103934665603ull;
-  for (i64 w : k.words) {
+  for (i64 w : words) {
     h ^= static_cast<u64>(w);
     h *= 1099511628211ull;
   }
@@ -70,7 +74,33 @@ std::vector<std::string> partitionParamNames() {
   return names;
 }
 
+/// Transparent key equality for the specialized-program cache: a stored
+/// EnumerationKey and a raw parameter span compare word-for-word (the
+/// parameter vector is the key words in ABI order).
+struct SpecKeyEq {
+  using is_transparent = void;
+  static std::span<const i64> words(const EnumerationKey& k) { return k.words; }
+  static std::span<const i64> words(std::span<const i64> s) { return s; }
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    std::span<const i64> x = words(a), y = words(b);
+    return x.size() == y.size() && std::equal(x.begin(), x.end(), y.begin());
+  }
+};
+
 }  // namespace
+
+/// Specialized-tier program cache: folded programs keyed exactly like the
+/// runtime's enumeration cache (the parameter vector *is* the key words in
+/// ABI order), FIFO-bounded, shared across Enumerator copies.
+struct Enumerator::SpecCache {
+  static constexpr std::size_t kMaxPrograms = 64;
+  std::mutex mu;
+  std::unordered_map<EnumerationKey, std::shared_ptr<const bc::Program>,
+                     EnumerationKeyHash, SpecKeyEq>
+      map;
+  std::deque<EnumerationKey> order;
+};
 
 Enumerator::Enumerator(const KernelModel& model, const ArrayModel& array,
                        bool isWrite)
@@ -135,63 +165,163 @@ Enumerator::Enumerator(const KernelModel& model, const ArrayModel& array,
     hullable_ = sameRank;
     if (hullable_) exact_ = false;
   }
+
+  // Compile the bytecode tier once per enumerator; copies share the program
+  // and the specialized-program cache (both are reached through shared_ptr
+  // and the cache is internally synchronized).
+  program_ = std::make_shared<const bc::Program>(bc::compile(nests_));
+  specCache_ = std::make_shared<SpecCache>();
 }
 
-std::vector<i64> Enumerator::buildParams(const PartitionTuple& partition,
-                                         const ir::LaunchConfig& cfg,
-                                         std::span<const i64> scalars) const {
+std::shared_ptr<const bc::Program> Enumerator::specializedFor(
+    const PartitionTuple& partition, const ir::LaunchConfig& cfg,
+    std::span<const i64> scalars, std::span<const i64> params) const {
+  SpecCache& cache = *specCache_;
+  {
+    // Heterogeneous probe: `params` already holds the key words in ABI
+    // order, so the hit path hashes the span in place — no key vector is
+    // built or copied on the fast path.
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.map.find(params);
+    if (it != cache.map.end()) return it->second;
+  }
+  // Fold outside the lock; racing misses on one key specialize twice and the
+  // first insert wins (the fold is pure, so both programs are equivalent).
+  auto fresh =
+      std::make_shared<const bc::Program>(bc::specialize(*program_, params));
+  EnumerationKey key;
+  key.words.assign(params.begin(), params.end());
+  PP_ASSERT_MSG(key == EnumerationKey::of(partition, cfg, scalars),
+                "buildParams diverged from the enumeration-key ABI");
+  std::lock_guard<std::mutex> lock(cache.mu);
+  auto [it, inserted] = cache.map.try_emplace(std::move(key), std::move(fresh));
+  if (inserted) {
+    cache.order.push_back(it->first);
+    while (cache.order.size() > SpecCache::kMaxPrograms) {
+      cache.map.erase(cache.order.front());
+      cache.order.pop_front();
+    }
+  }
+  return it->second;
+}
+
+Enumerator::ParamVec Enumerator::buildParams(const PartitionTuple& partition,
+                                             const ir::LaunchConfig& cfg,
+                                             std::span<const i64> scalars) const {
   PP_ASSERT_MSG(6 + scalars.size() == numModelParams_,
                 "scalar argument count does not match the model");
-  std::vector<i64> params;
-  params.reserve(numModelParams_ + 12);
-  params.insert(params.end(), {cfg.block.x, cfg.block.y, cfg.block.z,
-                               cfg.grid.x, cfg.grid.y, cfg.grid.z});
-  params.insert(params.end(), scalars.begin(), scalars.end());
-  params.insert(params.end(), partition.lo.begin(), partition.lo.end());
-  params.insert(params.end(), partition.hi.begin(), partition.hi.end());
+  ParamVec params;
+  for (i64 v : {cfg.block.x, cfg.block.y, cfg.block.z,
+                cfg.grid.x, cfg.grid.y, cfg.grid.z})
+    params.push_back(v);
+  for (i64 v : scalars) params.push_back(v);
+  for (i64 v : partition.lo) params.push_back(v);
+  for (i64 v : partition.hi) params.push_back(v);
   return params;
 }
 
 namespace {
 
-/// Emits the flattened ranges of one nest — or, with several nests, of
-/// their rectangular hull (per-level min of lowers / max of uppers, a sound
-/// cover of the union used for read maps only).
-struct EmitCtx {
+/// Pre-merge range scratch (std::pair is not trivially copyable, which
+/// SmallVec requires); ordered like the pair it replaces.
+struct FlatRange {
+  i64 begin, end;
+  auto operator<=>(const FlatRange&) const = default;
+};
+
+/// Evaluator policy for the interpreter tier: bounds come from the
+/// pset::AstExpr trees (paper mode).
+struct AstEval {
   std::span<const ScanNest* const> nests;
   std::span<const i64> params;
-  std::span<const i64> strides;  // per level; strides[last] == 1
-  std::span<const i64> dims;     // extent per level; <= 0 when unknown
-  bool coalesce;
-  const RangeFn& emit;
-  std::vector<i64> coords;
-  i64 logicalRows = 0;
 
-  /// True when every level below `level` has bounds independent of loop
-  /// variables >= `level` and spans its full extent: the tail then flattens
-  /// into one contiguous run of strides[level] elements per iteration.
   std::size_t numLevels() const { return nests[0]->levels.size(); }
-
-  i64 lowerAt(std::size_t level) const {
-    i64 v = nests[0]->levels[level].lower.eval(params, coords);
-    for (std::size_t i = 1; i < nests.size(); ++i)
-      v = std::min(v, nests[i]->levels[level].lower.eval(params, coords));
-    return v;
+  std::size_t numNests() const { return nests.size(); }
+  i64 lower(std::size_t n, std::size_t level, std::span<const i64> coords) const {
+    return nests[n]->levels[level].lower.eval(params, coords);
   }
-
-  i64 upperAt(std::size_t level) const {
-    i64 v = nests[0]->levels[level].upper.eval(params, coords);
-    for (std::size_t i = 1; i < nests.size(); ++i)
-      v = std::max(v, nests[i]->levels[level].upper.eval(params, coords));
-    return v;
+  i64 upper(std::size_t n, std::size_t level, std::span<const i64> coords) const {
+    return nests[n]->levels[level].upper.eval(params, coords);
   }
-
   bool boundsIndependent(std::size_t level, std::size_t ofLevel) const {
     for (const ScanNest* n : nests)
       if (!n->levels[level].lower.independentOfLoopsFrom(ofLevel) ||
           !n->levels[level].upper.independentOfLoopsFrom(ofLevel))
         return false;
     return true;
+  }
+};
+
+/// Evaluator policy for the bytecode VM; the specialized tier uses it too
+/// with the folded program (whose loop-dependence metadata is copied from
+/// the unspecialized code, so coalescing decisions are tier-invariant).
+struct VmEval {
+  const bc::Program& prog;
+  std::span<const bc::CompiledNest* const> nests;
+  std::span<const i64> params;
+  i64* regs;
+
+  std::size_t numLevels() const { return nests[0]->levels.size(); }
+  std::size_t numNests() const { return nests.size(); }
+  i64 lower(std::size_t n, std::size_t level, std::span<const i64> coords) const {
+    return prog.eval(nests[n]->levels[level].lower, params, coords, regs);
+  }
+  i64 upper(std::size_t n, std::size_t level, std::span<const i64> coords) const {
+    return prog.eval(nests[n]->levels[level].upper, params, coords, regs);
+  }
+  bool boundsIndependent(std::size_t level, std::size_t ofLevel) const {
+    for (const bc::CompiledNest* n : nests)
+      if (!n->levels[level].lower.independentOfLoopsFrom(ofLevel) ||
+          !n->levels[level].upper.independentOfLoopsFrom(ofLevel))
+        return false;
+    return true;
+  }
+};
+
+/// Emits the flattened ranges of one nest — or, with several nests, of
+/// their rectangular hull (per-level min of lowers / max of uppers, a sound
+/// cover of the union used for read maps only).  Templated over the bound
+/// evaluator so every tier shares one control flow (identical coalescing
+/// decisions, identical emission order, identical work accounting) and over
+/// the emit callback so the per-row collector call inlines instead of going
+/// through std::function.
+template <typename Eval, typename EmitFn>
+struct EmitCtx {
+  const Eval& ev;
+  std::span<const i64> strides;  // per level; strides[last] == 1
+  std::span<const i64> dims;     // extent per level; <= 0 when unknown
+  bool coalesce;
+  const EmitFn& emit;
+  support::SmallVec<i64, 8> coords;
+  i64 logicalRows = 0;
+
+  /// True when every level below `level` has bounds independent of loop
+  /// variables >= `level` and spans its full extent: the tail then flattens
+  /// into one contiguous run of strides[level] elements per iteration.
+  std::size_t numLevels() const { return ev.numLevels(); }
+
+  std::span<const i64> coordSpan() const {
+    return {coords.data(), coords.size()};
+  }
+
+  i64 lowerAt(std::size_t level) const {
+    std::span<const i64> c = coordSpan();
+    i64 v = ev.lower(0, level, c);
+    for (std::size_t i = 1; i < ev.numNests(); ++i)
+      v = std::min(v, ev.lower(i, level, c));
+    return v;
+  }
+
+  i64 upperAt(std::size_t level) const {
+    std::span<const i64> c = coordSpan();
+    i64 v = ev.upper(0, level, c);
+    for (std::size_t i = 1; i < ev.numNests(); ++i)
+      v = std::max(v, ev.upper(i, level, c));
+    return v;
+  }
+
+  bool boundsIndependent(std::size_t level, std::size_t ofLevel) const {
+    return ev.boundsIndependent(level, ofLevel);
   }
 
   bool tailIsFullRows(std::size_t level) {
@@ -253,17 +383,18 @@ void Enumerator::enumerate(const PartitionTuple& partition,
                            const ir::LaunchConfig& cfg,
                            std::span<const i64> scalars, const RangeFn& emit,
                            EnumInfo* info) const {
-  std::vector<i64> params = buildParams(partition, cfg, scalars);
+  ParamVec params = buildParams(partition, cfg, scalars);
+  const std::span<const i64> pspan(params.data(), params.size());
 
   // Evaluate the array extents and row-major strides.
-  std::vector<i64> dims(rank_, -1);
+  support::SmallVec<i64, 4> dims(rank_, -1);
   for (std::size_t i = 0; i < shapeRows_.size(); ++i) {
     i64 acc = shapeRows_[i].constantTerm();
     for (std::size_t p = 0; p < numModelParams_; ++p)
       acc = checkedAdd(acc, checkedMul(shapeRows_[i][p + 1], params[p]));
     dims[i] = acc;
   }
-  std::vector<i64> strides(rank_, 1);
+  support::SmallVec<i64, 4> strides(rank_, 1);
   for (std::size_t i = rank_ - 1; i-- > 0;) {
     PP_ASSERT_MSG(dims[i + 1] > 0, "multi-dimensional array with unknown extent");
     strides[i] = checkedMul(strides[i + 1], dims[i + 1]);
@@ -272,41 +403,105 @@ void Enumerator::enumerate(const PartitionTuple& partition,
   // Collect ranges from every live disjunct, then sort and merge: disjuncts
   // of a union map overlap (a stencil reads the same centre row five times),
   // and merging keeps both transfer volume and tracker updates minimal.
-  std::vector<std::pair<i64, i64>> ranges;
-  RangeFn collect = [&](i64 b, i64 e) {
-    if (b < e) ranges.emplace_back(b, e);
+  support::SmallVec<FlatRange, 16> ranges;
+  auto collect = [&](i64 b, i64 e) {
+    if (b < e) ranges.push_back({b, e});
   };
   i64 logicalRows = 0;
+  support::SmallVec<std::size_t, 8> runEnds;  // ranges.size() after each nest
 
-  std::vector<const ScanNest*> live;
-  live.reserve(nests_.size());
-  for (const ScanNest& nest : nests_) {
-    bool ok = true;
-    for (const AstExpr& g : nest.guards)
-      if (g.eval(params, {}) < 0) {
-        ok = false;
-        break;
-      }
-    if (ok) live.push_back(&nest);
-  }
-
-  if (coalesce && hullable_ && live.size() > 1) {
-    // Rectangular hull over the live disjuncts (reads only).
-    EmitCtx ctx{live, params, strides, dims, coalesce, collect, {}};
-    ctx.coords.reserve(rank_);
+  auto emitWith = [&](const auto& ev) {
+    EmitCtx<std::decay_t<decltype(ev)>, decltype(collect)> ctx{
+        ev, {strides.data(), strides.size()}, {dims.data(), dims.size()},
+        coalesce, collect, {}, 0};
     ctx.run(0, 0);
     logicalRows += ctx.logicalRows;
+    if (ranges.size() > (runEnds.empty() ? 0 : runEnds.back()))
+      runEnds.push_back(ranges.size());
+  };
+
+  if (tier == EnumTier::Interpret) {
+    support::SmallVec<const ScanNest*, 8> live;
+    for (const ScanNest& nest : nests_) {
+      bool ok = true;
+      // Guards short-circuit in order; later guards of a dead nest are
+      // never evaluated (the tiers preserve this, including its lazy
+      // overflow behaviour).
+      for (const AstExpr& g : nest.guards)
+        if (g.eval(pspan, {}) < 0) {
+          ok = false;
+          break;
+        }
+      if (ok) live.push_back(&nest);
+    }
+    if (coalesce && hullable_ && live.size() > 1) {
+      // Rectangular hull over the live disjuncts (reads only).
+      emitWith(AstEval{{live.data(), live.size()}, pspan});
+    } else {
+      for (const ScanNest* nest : live)
+        emitWith(AstEval{std::span<const ScanNest* const>(&nest, 1), pspan});
+    }
   } else {
-    for (const ScanNest* nest : live) {
-      EmitCtx ctx{std::span<const ScanNest* const>(&nest, 1), params, strides,
-                  dims, coalesce, collect, {}};
-      ctx.coords.reserve(rank_);
-      ctx.run(0, 0);
-      logicalRows += ctx.logicalRows;
+    std::shared_ptr<const bc::Program> specialized;
+    const bc::Program* prog = program_.get();
+    if (tier == EnumTier::Specialized) {
+      specialized = specializedFor(partition, cfg, scalars, pspan);
+      prog = specialized.get();
+    }
+    // Register scratch lives on the stack for every program this system
+    // compiles (file size = deepest single expression); the heap fallback
+    // keeps pathological expressions correct.
+    constexpr std::size_t kInlineRegs = 64;
+    i64 regsInline[kInlineRegs];
+    std::vector<i64> regsHeap;
+    i64* regs = regsInline;
+    if (prog->numRegs > kInlineRegs) {
+      regsHeap.resize(prog->numRegs);
+      regs = regsHeap.data();
+    }
+    support::SmallVec<const bc::CompiledNest*, 8> live;
+    for (const bc::CompiledNest& nest : prog->nests) {
+      bool ok = true;
+      for (const bc::CompiledExpr& g : nest.guards)
+        if (prog->eval(g, pspan, {}, regs) < 0) {
+          ok = false;
+          break;
+        }
+      if (ok) live.push_back(&nest);
+    }
+    if (coalesce && hullable_ && live.size() > 1) {
+      emitWith(VmEval{*prog, {live.data(), live.size()}, pspan, regs});
+    } else {
+      for (const bc::CompiledNest* nest : live)
+        emitWith(VmEval{*prog,
+                        std::span<const bc::CompiledNest* const>(&nest, 1),
+                        pspan, regs});
     }
   }
 
-  std::sort(ranges.begin(), ranges.end());
+  // Establish sorted order.  Every nest walks its loops in increasing order,
+  // so the scratch is a concatenation of sorted runs (one per emitWith call)
+  // and merging the runs pairwise is O(n·k), not the O(n log n) a full sort
+  // of the interleaved per-row ranges costs — on a stencil write this is the
+  // single largest slice of enumeration time.  Both produce the same sorted
+  // permutation, so the merge loop below sees identical input either way;
+  // a run that is ever not ascending falls back to the full sort.
+  bool sortedRuns = true;
+  for (std::size_t r = 0, prev = 0; r < runEnds.size(); prev = runEnds[r++])
+    if (!std::is_sorted(ranges.begin() + prev, ranges.begin() + runEnds[r])) {
+      sortedRuns = false;
+      break;
+    }
+  if (!sortedRuns) {
+    std::sort(ranges.begin(), ranges.end());
+  } else {
+    for (std::size_t r = 1; r < runEnds.size(); ++r) {
+      std::size_t sortedTo = runEnds[r - 1];
+      if (ranges[sortedTo] < ranges[sortedTo - 1])
+        std::inplace_merge(ranges.begin(), ranges.begin() + sortedTo,
+                           ranges.begin() + runEnds[r]);
+    }
+  }
   i64 pendBegin = 0, pendEnd = -1;
   i64 emitted = 0;
   bool pending = false;
@@ -345,10 +540,25 @@ MaterializedRanges Enumerator::materialize(const PartitionTuple& partition,
 i64 Enumerator::countElements(const PartitionTuple& partition,
                               const ir::LaunchConfig& cfg,
                               std::span<const i64> scalars) const {
-  i64 total = 0;
-  enumerate(partition, cfg, scalars,
-            [&](i64 b, i64 e) { total = checkedAdd(total, e - b); });
-  return total;
+  // Accumulate in 128-bit arithmetic.  The emitted ranges are merged and
+  // clipped to the declared array shape, so the sum fits in i64 only by a
+  // global argument (disjoint subranges of [0, 2^63) sum below 2^63); the
+  // old code banked on that argument with an unchecked `e - b` subtraction.
+  // Counting in 128 bits makes the invariant checkable instead of assumed,
+  // and any future unclipped access path (or a hull over one) gets a
+  // diagnosable error rather than a silently wrapped count.
+  using i128 = __int128;
+  i128 total = 0;
+  enumerate(partition, cfg, scalars, [&](i64 b, i64 e) {
+    total += static_cast<i128>(e) - static_cast<i128>(b);
+  });
+  if (total > static_cast<i128>(std::numeric_limits<i64>::max()))
+    throw OverflowError(
+        "enumerator '" + name_ +
+        "': total element count exceeds the 64-bit range (grid extent times "
+        "halo depth is too large to account); partition box and launch "
+        "configuration produce an unrepresentable access-set size");
+  return static_cast<i64>(total);
 }
 
 std::string Enumerator::emitC() const {

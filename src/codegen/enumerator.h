@@ -28,15 +28,18 @@
 // `coalesce = false`.
 
 #include <array>
-#include <optional>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/model.h"
+#include "codegen/bytecode.h"
 #include "ir/interp.h"
 #include "ir/transform.h"
 #include "pset/ast.h"
+#include "support/small_vec.h"
 
 namespace polypart::codegen {
 
@@ -71,9 +74,16 @@ struct EnumerationKey {
 };
 
 /// FNV-1a over the key words (launch shapes per application are few; this
-/// only needs to separate them cheaply).
+/// only needs to separate them cheaply).  Transparent: a raw word span in
+/// the same ABI order hashes identically, so the specialized-program cache
+/// can probe with the enumerator's already-built parameter vector instead of
+/// materializing a key per lookup.
 struct EnumerationKeyHash {
-  std::size_t operator()(const EnumerationKey& k) const;
+  using is_transparent = void;
+  std::size_t operator()(std::span<const i64> words) const;
+  std::size_t operator()(const EnumerationKey& k) const {
+    return (*this)(std::span<const i64>(k.words));
+  }
 };
 
 /// Work accounting for one enumeration: `ranges` is the number of callback
@@ -85,6 +95,8 @@ struct EnumerationKeyHash {
 struct EnumInfo {
   i64 ranges = 0;
   i64 logicalRows = 0;
+
+  bool operator==(const EnumInfo&) const = default;
 };
 
 /// One enumerator's output materialized for replay: the coalesced ranges in
@@ -112,6 +124,12 @@ class Enumerator {
   bool exact() const { return exact_; }
   /// Full-row coalescing switch (on by default; ablation knob).
   bool coalesce = true;
+  /// Execution tier (see codegen/bytecode.h).  All tiers emit byte-identical
+  /// ranges and work accounting; `Interpret` walks the AST (paper mode),
+  /// `Bytecode` runs the program compiled at construction, `Specialized`
+  /// additionally constant-folds each parameter vector on first sight and
+  /// caches the folded program under its EnumerationKey.
+  EnumTier tier = EnumTier::Interpret;
 
   /// Enumerates the element ranges accessed by `partition`.  Ranges are
   /// emitted in non-decreasing order per disjunct and adjacent ranges are
@@ -119,11 +137,13 @@ class Enumerator {
   /// duplicates, Section 6.1).
   ///
   /// Thread safety: enumerate()/materialize()/countElements() read only the
-  /// enumerator's compile-time state (nests, shape rows, `coalesce`) and
-  /// keep all evaluation scratch on the stack, so concurrent calls on one
-  /// Enumerator from multiple threads are safe — the runtime's parallel
-  /// resolution engine materializes every (partition, enumerator) pair of a
-  /// launch concurrently.  Do not flip `coalesce` while calls are in flight.
+  /// enumerator's compile-time state (nests, compiled program, shape rows,
+  /// `coalesce`, `tier`) and keep all evaluation scratch on the stack, so
+  /// concurrent calls on one Enumerator from multiple threads are safe — the
+  /// runtime's parallel resolution engine materializes every (partition,
+  /// enumerator) pair of a launch concurrently.  The Specialized tier's
+  /// program cache is shared across copies and internally synchronized.  Do
+  /// not flip `coalesce`/`tier` while calls are in flight.
   void enumerate(const PartitionTuple& partition, const ir::LaunchConfig& cfg,
                  std::span<const i64> scalars, const RangeFn& emit,
                  EnumInfo* info = nullptr) const;
@@ -135,7 +155,14 @@ class Enumerator {
                                  const ir::LaunchConfig& cfg,
                                  std::span<const i64> scalars) const;
 
-  /// Total number of elements in all emitted ranges (duplicates counted).
+  /// Total number of elements in all emitted ranges (overlapping disjunct
+  /// ranges are merged by enumerate() and counted once).  Accumulates in
+  /// 128-bit arithmetic and throws a diagnosable OverflowError naming the
+  /// enumerator if the count ever exceeds the 64-bit range: today's merged,
+  /// shape-clipped ranges keep the sum representable only by a global
+  /// argument (disjoint subranges of [0, 2^63)), and the previous
+  /// implementation silently relied on it with an unchecked per-range
+  /// subtraction.
   i64 countElements(const PartitionTuple& partition, const ir::LaunchConfig& cfg,
                     std::span<const i64> scalars) const;
 
@@ -144,9 +171,19 @@ class Enumerator {
   std::string emitC() const;
 
  private:
-  std::vector<i64> buildParams(const PartitionTuple& partition,
-                               const ir::LaunchConfig& cfg,
-                               std::span<const i64> scalars) const;
+  /// Parameter vectors are short (6 launch words + scalars + 12 partition
+  /// words) and built on every enumerate() call; inline storage keeps the
+  /// hot path allocation-free.
+  using ParamVec = support::SmallVec<i64, 32>;
+
+  ParamVec buildParams(const PartitionTuple& partition,
+                       const ir::LaunchConfig& cfg,
+                       std::span<const i64> scalars) const;
+  /// Specialized-tier cache lookup: returns the program folded for `params`,
+  /// specializing and inserting (FIFO-bounded) on a miss.
+  std::shared_ptr<const bc::Program> specializedFor(
+      const PartitionTuple& partition, const ir::LaunchConfig& cfg,
+      std::span<const i64> scalars, std::span<const i64> params) const;
 
   std::string name_;
   std::size_t argIndex_ = 0;
@@ -160,6 +197,13 @@ class Enumerator {
   bool hullable_ = false;
   std::vector<pset::LinExpr> shapeRows_;     // over the model param space
   std::vector<std::string> paramNames_;      // extended space, for emitC
+  /// Bytecode program for nests_, compiled once at construction and shared
+  /// by copies (Enumerator is copyable; the program is immutable).
+  std::shared_ptr<const bc::Program> program_;
+  /// Specialized-tier program cache (keyed by EnumerationKey, FIFO-bounded,
+  /// mutex-guarded); shared across copies like the program.
+  struct SpecCache;
+  std::shared_ptr<SpecCache> specCache_;
 };
 
 /// Builds all enumerators of a kernel model (reads and writes for every

@@ -1,5 +1,8 @@
 #include <algorithm>
+#include <deque>
 #include <map>
+#include <mutex>
+#include <unordered_map>
 
 #include "pset/fm_internal.h"
 #include "support/arith.h"
@@ -17,7 +20,7 @@ constexpr std::size_t kMaxRows = 4096;
 /// coefficients, tightening integer bounds.  Returns false when the row is a
 /// contradiction.
 bool normalizeRow(Constraint& c) {
-  std::vector<i64>& row = c.expr.row();
+  auto& row = c.expr.row();
   i64 g = 0;
   for (std::size_t i = 1; i < row.size(); ++i) g = gcd(g, row[i]);
   if (g == 0) {
@@ -194,11 +197,53 @@ void eliminateOne(Rows& r, std::size_t col, bool& exact) {
   simplifyRows(r);
 }
 
-}  // namespace
+// -- projection memoization ---------------------------------------------------
+//
+// eliminateColumns is a pure function of (rows, elim), and the toolchain
+// calls it with heavily repeated inputs: buildScan projects every dimension
+// prefix of the same set, and every enumerator of a kernel intersects the
+// same access map with the same partition box.  A process-wide bounded memo
+// table replays the result instead of re-running the elimination.  The table
+// is guarded by a mutex because the Runtime constructor analyzes kernels in
+// parallel; entries are evicted FIFO.
 
-ElimResult eliminateColumns(std::vector<Constraint> rows,
-                            const std::vector<bool>& elim) {
-  PP_ASSERT(elim.empty() || !elim[0]);
+struct MemoKey {
+  std::vector<i64> words;
+  bool operator==(const MemoKey&) const = default;
+};
+
+struct MemoKeyHash {
+  std::size_t operator()(const MemoKey& k) const {
+    u64 h = 1469598103934665603ull;
+    for (i64 w : k.words) {
+      h ^= static_cast<u64>(w);
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+constexpr std::size_t kMemoEntries = 512;
+std::mutex memoMutex;
+std::unordered_map<MemoKey, ElimResult, MemoKeyHash> memoTable;  // NOLINT
+std::deque<MemoKey> memoOrder;                                   // NOLINT
+
+MemoKey memoKeyFor(const std::vector<Constraint>& rows,
+                   const std::vector<bool>& elim) {
+  MemoKey k;
+  k.words.reserve(2 + elim.size() + rows.size() * (1 + elim.size()));
+  k.words.push_back(static_cast<i64>(elim.size()));
+  k.words.push_back(static_cast<i64>(rows.size()));
+  for (bool b : elim) k.words.push_back(b ? 1 : 0);
+  for (const Constraint& c : rows) {
+    k.words.push_back(c.isEquality ? 1 : 0);
+    for (i64 v : c.expr.row()) k.words.push_back(v);
+  }
+  return k;
+}
+
+ElimResult eliminateColumnsImpl(std::vector<Constraint> rows,
+                                const std::vector<bool>& elim) {
   ElimResult res;
   Rows r{std::move(rows), false};
   simplifyRows(r);
@@ -241,6 +286,32 @@ ElimResult eliminateColumns(std::vector<Constraint> rows,
     res.exact = true;  // the empty set is represented exactly
   }
   return res;
+}
+
+}  // namespace
+
+ElimResult eliminateColumns(std::vector<Constraint> rows,
+                            const std::vector<bool>& elim) {
+  PP_ASSERT(elim.empty() || !elim[0]);
+  MemoKey key = memoKeyFor(rows, elim);
+  {
+    std::lock_guard<std::mutex> lock(memoMutex);
+    auto it = memoTable.find(key);
+    if (it != memoTable.end()) return it->second;
+  }
+  // Computed outside the lock: concurrent misses on the same key merely
+  // duplicate the (pure) work; the first insert wins.
+  ElimResult res = eliminateColumnsImpl(std::move(rows), elim);
+  std::lock_guard<std::mutex> lock(memoMutex);
+  auto [it, inserted] = memoTable.try_emplace(std::move(key), res);
+  if (inserted) {
+    memoOrder.push_back(it->first);
+    while (memoOrder.size() > kMemoEntries) {
+      memoTable.erase(memoOrder.front());
+      memoOrder.pop_front();
+    }
+  }
+  return it->second;
 }
 
 }  // namespace polypart::pset::detail

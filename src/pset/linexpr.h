@@ -5,13 +5,22 @@
 // A LinExpr is a dense row of coefficients following the Space column layout
 // (constant, parameters, input dims, output dims).  All arithmetic is
 // overflow-checked.
+//
+// Rows are stored in a SmallVec with inline capacity covering every space
+// this system builds (the widest is an access map aligned to the extended
+// 12-partition-parameter space), so the row combinations inside
+// Fourier-Motzkin elimination never allocate.
 
 #include <vector>
 
 #include "pset/space.h"
 #include "support/arith.h"
+#include "support/small_vec.h"
 
 namespace polypart::pset {
+
+/// Coefficient row storage; 32 inline slots (see the header comment).
+using CoeffRow = support::SmallVec<i64, 32>;
 
 class LinExpr {
  public:
@@ -84,13 +93,13 @@ class LinExpr {
   /// the new column of old column i, or npos when dropped (must be zero).
   LinExpr remapped(const std::vector<std::size_t>& colMap, std::size_t newCols) const;
 
-  const std::vector<i64>& row() const { return row_; }
-  std::vector<i64>& row() { return row_; }
+  const CoeffRow& row() const { return row_; }
+  CoeffRow& row() { return row_; }
 
   bool operator==(const LinExpr&) const = default;
 
  private:
-  std::vector<i64> row_;
+  CoeffRow row_;
 };
 
 inline LinExpr LinExpr::remapped(const std::vector<std::size_t>& colMap,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <thread>
@@ -25,6 +26,11 @@ using codegen::PartitionTuple;
 using ir::Dim3;
 using ir::GridPartition;
 using ir::LaunchConfig;
+
+codegen::EnumTier defaultEnumeratorTier() {
+  const char* env = std::getenv("POLYPART_ENUMERATOR_TIER");
+  return env ? codegen::enumTierFromString(env) : codegen::EnumTier::Interpret;
+}
 
 namespace {
 
@@ -141,7 +147,10 @@ Runtime::Runtime(RuntimeConfig config, analysis::ApplicationModel model,
     ke.model = &km;
     ke.partitioned = ir::partitionKernel(*k);
     ke.enumerators = codegen::buildEnumerators(km);
-    for (Enumerator& e : ke.enumerators) e.coalesce = config_.coalesceEnumerators;
+    for (Enumerator& e : ke.enumerators) {
+      e.coalesce = config_.coalesceEnumerators;
+      e.tier = config_.enumeratorTier;
+    }
   };
   if (pool_) {
     pool_->parallelFor(numKernels, buildEntry);

@@ -72,6 +72,12 @@ class TransferPlan;
 /// distribution").  RoundRobinPages exists for the ablation bench.
 enum class H2DDistribution { Linear, RoundRobinPages };
 
+/// Process-default enumerator execution tier: POLYPART_ENUMERATOR_TIER
+/// (interpret|bytecode|specialized) when set, else Interpret.  Used as the
+/// RuntimeConfig default so suites can be re-run under another tier without
+/// overriding configs that set the knob explicitly.
+codegen::EnumTier defaultEnumeratorTier();
+
 struct RuntimeConfig {
   int numGpus = 1;
   sim::ExecutionMode mode = sim::ExecutionMode::Functional;
@@ -85,6 +91,15 @@ struct RuntimeConfig {
 
   /// Enumerator full-row coalescing (ablation knob).
   bool coalesceEnumerators = true;
+  /// Enumerator execution tier (see DESIGN.md "Execution tiers"):
+  /// `Interpret` walks the scan-nest ASTs (paper mode), `Bytecode` runs the
+  /// register bytecode compiled once per kernel, `Specialized` additionally
+  /// constant-folds each (launch config, scalars, partition 6-tuple) vector
+  /// on first sight and caches the folded program under the same key as the
+  /// enumeration cache.  Every tier produces byte-identical results, stats,
+  /// and modeled timing.  Defaults to POLYPART_ENUMERATOR_TIER
+  /// (interpret|bytecode|specialized) when set, else Interpret.
+  codegen::EnumTier enumeratorTier = defaultEnumeratorTier();
   /// Distribution pattern for host-to-device memcopies (ablation knob).
   H2DDistribution h2dDistribution = H2DDistribution::Linear;
   /// Shared-copy tracking: remember which devices already hold a valid

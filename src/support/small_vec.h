@@ -1,0 +1,156 @@
+#pragma once
+
+// Small-vector with inline storage for trivially copyable element types.
+//
+// LinExpr coefficient rows are short (constant + params + dims; under ~30
+// columns for every space this system builds) but are copied and combined in
+// the innermost loops of Fourier-Motzkin elimination, where a heap
+// allocation per row dominates the arithmetic.  SmallVec keeps up to N
+// elements inline and only touches the heap for wider rows, with the same
+// subset of the std::vector interface the pset and codegen hot paths use
+// (the enumerator keeps its per-call scratch — parameter vector, extents,
+// loop coordinates, pre-merge ranges — in SmallVecs for the same reason).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+#include "support/error.h"
+
+namespace polypart::support {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec only supports trivially copyable elements");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+  SmallVec(std::size_t n, const T& value) { assign(n, value); }
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) data_[size_++] = v;
+  }
+  template <typename It, typename = std::enable_if_t<!std::is_integral_v<It>>>
+  SmallVec(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  SmallVec(const SmallVec& o) { copyFrom(o); }
+  SmallVec(SmallVec&& o) noexcept { moveFrom(o); }
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      releaseHeap();
+      copyFrom(o);
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      releaseHeap();
+      moveFrom(o);
+    }
+    return *this;
+  }
+  ~SmallVec() { releaseHeap(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void assign(std::size_t n, const T& value) {
+    reserve(n);
+    std::fill_n(data_, n, value);
+    size_ = n;
+  }
+
+  void resize(std::size_t n) {
+    reserve(n);
+    if (n > size_) std::fill_n(data_ + size_, n - size_, T{});
+    size_ = n;
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) reserve(cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  void pop_back() { --size_; }
+
+  void clear() { size_ = 0; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.data_, b.data_, a.size_ * sizeof(T)) == 0;
+  }
+
+ private:
+  void reserve(std::size_t n) {
+    if (n <= cap_) return;
+    std::size_t cap = std::max(n, cap_ * 2);
+    T* mem = new T[cap];
+    std::memcpy(mem, data_, size_ * sizeof(T));
+    releaseHeap();
+    data_ = mem;
+    cap_ = cap;
+  }
+
+  void copyFrom(const SmallVec& o) {
+    if (o.size_ <= N) {
+      data_ = inline_;
+      cap_ = N;
+    } else {
+      data_ = new T[o.size_];
+      cap_ = o.size_;
+    }
+    size_ = o.size_;
+    std::memcpy(data_, o.data_, size_ * sizeof(T));
+  }
+
+  void moveFrom(SmallVec& o) {
+    if (o.data_ == o.inline_) {
+      data_ = inline_;
+      cap_ = N;
+      size_ = o.size_;
+      std::memcpy(data_, o.data_, size_ * sizeof(T));
+    } else {
+      data_ = o.data_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.data_ = o.inline_;
+      o.cap_ = N;
+    }
+    o.size_ = 0;
+  }
+
+  void releaseHeap() {
+    if (data_ != inline_) delete[] data_;
+    data_ = inline_;
+    cap_ = N;
+  }
+
+  T* data_ = inline_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+  T inline_[N]{};
+};
+
+}  // namespace polypart::support

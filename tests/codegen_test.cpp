@@ -10,6 +10,7 @@
 #include "analysis/analyze.h"
 #include "apps/kernels.h"
 #include "codegen/enumerator.h"
+#include "ir/builder.h"
 #include "ir/interp.h"
 #include "ir/transform.h"
 
@@ -256,6 +257,127 @@ TEST(Codegen, CountElementsMatchesRanges) {
   PartitionTuple all = PartitionTuple::fromBlocks(
       GridPartition{{0, 0, 0}, {8, 1, 1}}, cfg.block);
   EXPECT_EQ(yWrite.countElements(all, cfg, scalars), 500);
+}
+
+/// A 1-D kernel with a scalar-deep halo read (a[i] and a[i - g]): with g and
+/// n near 2^62 the access-set extent sums past the 64-bit range even though
+/// every range endpoint is representable.
+ir::KernelPtr buildDeepHalo() {
+  ir::KernelBuilder b("deephalo");
+  auto n = b.scalar("n", ir::Type::I64);
+  auto g = b.scalar("g", ir::Type::I64);
+  auto a = b.array("a", ir::Type::F64, {n});
+  auto out = b.array("out", ir::Type::F64, {n});
+  auto i = b.let("i", b.globalId(ir::Axis::X));
+  b.iff(ir::lt(i, n), [&] {
+    b.store(out, i, b.load(a, i) + b.load(a, i - g));
+  });
+  return b.build();
+}
+
+TEST(Codegen, CountElementsNearOverflowKernel) {
+  KernelModel m = analysis::analyzeKernel(*buildDeepHalo());
+  auto es = buildEnumerators(m);
+  const Enumerator& aRead = find(es, 2, false);
+
+  // Small case: the halo read [-10, 90) is clipped to the declared shape
+  // and merged with [0, 100) — overlapping disjuncts are counted once.
+  {
+    LaunchConfig cfg{{4, 1, 1}, {32, 1, 1}};
+    i64 scalars[] = {100, 10};
+    PartitionTuple all = PartitionTuple::fromBlocks(
+        GridPartition{{0, 0, 0}, {4, 1, 1}}, cfg.block);
+    EXPECT_EQ(aRead.countElements(all, cfg, scalars), 100);
+  }
+
+  // Near-overflow case: n = 9e18 (97.6 % of the i64 range).  The merged
+  // read set is one range [0, 9e18); the count must come back exact — the
+  // previous implementation accumulated `e - b` in unchecked 64-bit
+  // arithmetic and only stayed correct here by the (unverified) global
+  // argument that merged shape-clipped ranges cannot sum past 2^63.  The
+  // 128-bit accumulation checks that argument and throws a diagnosable
+  // OverflowError instead of wrapping if it is ever violated.
+  const i64 big = i64{9000000000000000000};  // 1024 * 8789062500000000
+  LaunchConfig cfg{{big / 1024, 1, 1}, {1024, 1, 1}};
+  i64 scalars[] = {big, 1000};
+  PartitionTuple all = PartitionTuple::fromBlocks(
+      GridPartition{{0, 0, 0}, {big / 1024, 1, 1}}, cfg.block);
+  MaterializedRanges mat;
+  ASSERT_NO_THROW(mat = aRead.materialize(all, cfg, scalars));
+  ASSERT_EQ(mat.ranges.size(), 1u);
+  EXPECT_EQ(mat.ranges[0], (std::pair<i64, i64>{0, big}));
+  EXPECT_EQ(aRead.countElements(all, cfg, scalars), big);
+}
+
+/// Satellite contract: a materialized plan replayed later must be
+/// bit-identical to a live enumerate() call — same ranges in the same order
+/// and the same work accounting — for every execution tier and coalescing
+/// setting (the runtime's enumeration cache stores MaterializedRanges and
+/// charges modeled time from its EnumInfo).
+TEST(Codegen, MaterializeReplayMatchesLiveEnumerate) {
+  for (const ir::KernelPtr& k :
+       {apps::buildSaxpy(), apps::buildHotspot(), apps::buildMatmul()}) {
+    KernelModel m = analysis::analyzeKernel(*k);
+    auto es = buildEnumerators(m);
+    LaunchConfig cfg{{4, 4, 1}, {8, 8, 1}};
+    i64 scalars[] = {23};
+    PartitionTuple part = PartitionTuple::fromBlocks(
+        GridPartition{{1, 0, 0}, {4, 3, 1}}, cfg.block);
+    for (Enumerator e : es) {
+      for (EnumTier tier :
+           {EnumTier::Interpret, EnumTier::Bytecode, EnumTier::Specialized}) {
+        for (bool coalesce : {true, false}) {
+          e.tier = tier;
+          e.coalesce = coalesce;
+          MaterializedRanges mat = e.materialize(part, cfg, scalars);
+          std::vector<std::pair<i64, i64>> live;
+          EnumInfo info;
+          e.enumerate(part, cfg, scalars,
+                      [&](i64 b, i64 en) { live.emplace_back(b, en); }, &info);
+          EXPECT_EQ(mat.ranges, live)
+              << e.name() << " tier " << enumTierName(tier);
+          EXPECT_EQ(mat.info, info)
+              << e.name() << " tier " << enumTierName(tier)
+              << ": work accounting diverges between materialize and replay";
+        }
+      }
+    }
+  }
+}
+
+/// The bytecode and specialized tiers must emit byte-identical ranges and
+/// accounting to the interpreter, including on repeated specialized calls
+/// that hit the per-enumerator program cache.
+TEST(Codegen, ExecutionTiersAreByteIdentical) {
+  for (const ir::KernelPtr& k :
+       {apps::buildSaxpy(), apps::buildHotspot(), apps::buildMatmul(),
+        apps::buildNBodyForces()}) {
+    KernelModel m = analysis::analyzeKernel(*k);
+    auto es = buildEnumerators(m);
+    LaunchConfig cfg{{6, 3, 1}, {8, 8, 1}};
+    i64 scalars[] = {37};
+    for (i64 lo = 0; lo < 3; ++lo) {
+      PartitionTuple part = PartitionTuple::fromBlocks(
+          GridPartition{{lo, lo / 2, 0}, {6, 3, 1}}, cfg.block);
+      for (Enumerator e : es) {
+        e.tier = EnumTier::Interpret;
+        MaterializedRanges ref = e.materialize(part, cfg, scalars);
+        e.tier = EnumTier::Bytecode;
+        MaterializedRanges vm = e.materialize(part, cfg, scalars);
+        EXPECT_EQ(ref.ranges, vm.ranges) << e.name() << " bytecode";
+        EXPECT_EQ(ref.info, vm.info) << e.name() << " bytecode";
+        e.tier = EnumTier::Specialized;
+        MaterializedRanges spec = e.materialize(part, cfg, scalars);
+        MaterializedRanges specHit = e.materialize(part, cfg, scalars);
+        EXPECT_EQ(ref.ranges, spec.ranges) << e.name() << " specialized";
+        EXPECT_EQ(ref.info, spec.info) << e.name() << " specialized";
+        EXPECT_EQ(spec.ranges, specHit.ranges)
+            << e.name() << " specialized cache hit";
+        EXPECT_EQ(spec.info, specHit.info)
+            << e.name() << " specialized cache hit";
+      }
+    }
+  }
 }
 
 }  // namespace

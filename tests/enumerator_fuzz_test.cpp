@@ -166,5 +166,88 @@ TEST(EnumeratorFuzz, RangesMatchObservedFootprint) {
   }
 }
 
+/// Three-way differential oracle over the execution tiers: for every random
+/// kernel and partition box, the interpreter, the bytecode VM, and the
+/// specializing VM must materialize byte-identical ranges (same order, same
+/// endpoints) and identical work accounting, with coalescing on and off.
+/// The specialized tier runs twice per key so both the fold-and-insert miss
+/// path and the cached-program hit path are exercised.
+TEST(EnumeratorFuzz, TiersMaterializeIdenticalRanges) {
+  const int kernels = fuzz::caseCount(60);
+  for (int kcase = 0; kcase < kernels; ++kcase) {
+    fuzz::SeededRng rng(fuzz::seedFor(22, kcase));
+    SCOPED_TRACE(rng.replay());
+    GeneratedKernel g = fuzz::generate(rng, kcase);
+    ir::Module mod;
+    mod.addKernel(g.kernel);
+    analysis::ApplicationModel model;
+    try {
+      model = analysis::analyzeModule(mod);
+    } catch (const UnsupportedKernelError& e) {
+      ADD_FAILURE() << "generated kernel rejected: " << e.what() << "\n"
+                    << g.kernel->str();
+      continue;
+    }
+    const analysis::KernelModel* km = model.find(g.kernel->name());
+    ASSERT_NE(km, nullptr);
+    std::vector<Enumerator> enumerators = buildEnumerators(*km);
+
+    const i64 n = g.is2d ? 17 : 200;
+    ir::LaunchConfig cfg =
+        g.is2d ? ir::LaunchConfig{{(n + 4) / 5, (n + 4) / 5, 1}, {5, 5, 1}}
+               : ir::LaunchConfig{{(n + 63) / 64, 1, 1}, {64, 1, 1}};
+    const std::vector<i64> scalars = {n};
+
+    for (int pcase = 0; pcase < 4; ++pcase) {
+      ir::GridPartition gp;
+      gp.lo = {0, 0, 0};
+      gp.hi = {1, 1, 1};
+      const i64 extents[3] = {cfg.grid.x, cfg.grid.y, cfg.grid.z};
+      i64* lows[3] = {&gp.lo.x, &gp.lo.y, &gp.lo.z};
+      i64* highs[3] = {&gp.hi.x, &gp.hi.y, &gp.hi.z};
+      for (int axis = 0; axis < 3; ++axis) {
+        if (extents[axis] <= 1) continue;
+        *lows[axis] = rng.range(0, extents[axis] - 1);
+        *highs[axis] = rng.range(*lows[axis] + 1, extents[axis]);
+      }
+      SCOPED_TRACE("partition [" + std::to_string(gp.lo.x) + "," +
+                   std::to_string(gp.hi.x) + ")x[" + std::to_string(gp.lo.y) +
+                   "," + std::to_string(gp.hi.y) + ")");
+
+      PartitionTuple tuple = PartitionTuple::fromBlocks(gp, cfg.block);
+      for (Enumerator& e : enumerators) {
+        SCOPED_TRACE(e.name());
+        for (bool coalesce : {true, false}) {
+          e.coalesce = coalesce;
+          e.tier = EnumTier::Interpret;
+          MaterializedRanges ref = e.materialize(tuple, cfg, scalars);
+          e.tier = EnumTier::Bytecode;
+          MaterializedRanges vm = e.materialize(tuple, cfg, scalars);
+          e.tier = EnumTier::Specialized;
+          MaterializedRanges spec = e.materialize(tuple, cfg, scalars);
+          MaterializedRanges specHit = e.materialize(tuple, cfg, scalars);
+          e.tier = EnumTier::Interpret;
+          e.coalesce = true;
+
+          EXPECT_EQ(ref.ranges, vm.ranges)
+              << "bytecode VM diverges from the interpreter (coalesce="
+              << coalesce << ")\n"
+              << g.kernel->str();
+          EXPECT_EQ(ref.info, vm.info) << "bytecode VM work accounting";
+          EXPECT_EQ(ref.ranges, spec.ranges)
+              << "specialized program diverges (coalesce=" << coalesce
+              << ")\n"
+              << g.kernel->str();
+          EXPECT_EQ(ref.info, spec.info) << "specialized work accounting";
+          EXPECT_EQ(spec.ranges, specHit.ranges)
+              << "cached specialized program diverges from its first run";
+          EXPECT_EQ(spec.info, specHit.info);
+          if (::testing::Test::HasFailure()) return;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace polypart::codegen

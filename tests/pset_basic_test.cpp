@@ -135,6 +135,55 @@ TEST(BasicSet, ProjectOutFourierMotzkin) {
   EXPECT_FALSE(p.set.containsPoint({}, in11, {}));
 }
 
+TEST(BasicSet, DuplicateConstraintsDedupBeforeProjection) {
+  // Access-map construction routinely produces the same inequality many
+  // times (one copy per load of the same row, plus GCD-scaled variants from
+  // stride normalization).  simplify() must canonicalize and dedup them so
+  // Fourier-Motzkin sees each constraint once — otherwise k duplicated
+  // lower bounds times k duplicated uppers produce k^2 redundant rows per
+  // eliminated column.  { [i, j] : 0 <= i < N and 0 <= j <= i }.
+  Space s = Space::set({"N"}, {"i", "j"});
+  auto build = [&](int copies, i64 scale) {
+    BasicSet bs(s);
+    LinExpr i = LinExpr::dim(s, DimId::in(0));
+    LinExpr j = LinExpr::dim(s, DimId::in(1));
+    LinExpr n = LinExpr::dim(s, DimId::param(0));
+    for (int c = 0; c < copies; ++c) {
+      // Odd copies are scaled by a common factor; GCD tightening must
+      // normalize them back onto the base form before dedup.
+      i64 f = (c % 2 == 0) ? 1 : scale;
+      bs.addGe(i * f);
+      bs.addGe((n - i - LinExpr::constant(s, 1)) * f);
+      bs.addGe(j * f);
+      bs.addGe((i - j) * f);
+    }
+    return bs;
+  };
+
+  BasicSet clean = build(1, 1);
+  BasicSet fat = build(8, 3);
+
+  // Direct dedup check: simplification collapses the 32 rows to the 4
+  // distinct constraints.
+  BasicSet deduped = fat;
+  deduped.simplify();
+  EXPECT_EQ(deduped.constraints().size(), 4u);
+
+  // Projection of j behaves exactly as on the clean system: same exactness,
+  // same constraint count (no duplicate-driven row blowup), same points.
+  auto pc = clean.projectOut(DimKind::In, 1, 1);
+  auto pf = fat.projectOut(DimKind::In, 1, 1);
+  EXPECT_EQ(pf.exact, pc.exact);
+  EXPECT_EQ(pf.set.constraints().size(), pc.set.constraints().size());
+  i64 params[] = {10};
+  for (i64 v = -2; v <= 12; ++v) {
+    i64 in0[] = {v};
+    EXPECT_EQ(pf.set.containsPoint(params, in0, {}),
+              pc.set.containsPoint(params, in0, {}))
+        << "projections disagree at i = " << v;
+  }
+}
+
 TEST(BasicSet, FeasibilityDefinite) {
   Space s = set1d();
   BasicSet bs(s);

@@ -136,6 +136,87 @@ INSTANTIATE_TEST_SUITE_P(
              "_" + std::to_string(info.param.gpus) + "gpus";
     });
 
+/// Execution-tier sweep (see DESIGN.md "Execution tiers"): functional
+/// results must be byte-identical and the deterministic RuntimeStats fields
+/// tier-invariant across enumeratorTier x enableEnumerationCache x
+/// resolutionThreads x pipelineDepth.  Hotspot with an odd n guarantees
+/// grid overhang, so the guard expressions the tiers evaluate are
+/// non-trivial.
+TEST(EnumeratorTierSweep, ByteIdenticalAcrossTierCacheThreadsDepth) {
+  const i64 n = 37;
+  const int iters = 4;
+  Rng rng(91);
+  std::vector<double> init(static_cast<std::size_t>(n * n));
+  std::vector<double> power(static_cast<std::size_t>(n * n));
+  for (auto& v : init) v = rng.uniform() * 40;
+  for (auto& v : power) v = rng.uniform();
+  std::vector<double> expect = init, scratch(init.size());
+  for (int it = 0; it < iters; ++it) {
+    apps::refHotspotStep(n, 0.175, 0.05, expect, power, scratch);
+    std::swap(expect, scratch);
+  }
+
+  auto run = [&](codegen::EnumTier tier, bool cache, int threads, int depth,
+                 RuntimeStats* statsOut) {
+    RuntimeConfig cfg;
+    cfg.numGpus = 3;
+    cfg.mode = sim::ExecutionMode::Functional;
+    cfg.enumeratorTier = tier;
+    cfg.enableEnumerationCache = cache;
+    cfg.resolutionThreads = threads;
+    cfg.pipelineDepth = depth;
+    Runtime rt(cfg, sharedModel(), sharedModule());
+    VirtualBuffer* t0 = rt.malloc(n * n * 8);
+    VirtualBuffer* t1 = rt.malloc(n * n * 8);
+    VirtualBuffer* pw = rt.malloc(n * n * 8);
+    rt.memcpy(t0, init.data(), n * n * 8, MemcpyKind::HostToDevice);
+    rt.memcpy(pw, power.data(), n * n * 8, MemcpyKind::HostToDevice);
+    VirtualBuffer* src = t0;
+    VirtualBuffer* dst = t1;
+    for (int it = 0; it < iters; ++it) {
+      LaunchArg args[] = {LaunchArg::ofInt(n), LaunchArg::ofFloat(0.175),
+                          LaunchArg::ofFloat(0.05), LaunchArg::ofBuffer(src),
+                          LaunchArg::ofBuffer(pw), LaunchArg::ofBuffer(dst)};
+      rt.launch("hotspot", {(n + 7) / 8, (n + 7) / 8, 1}, {8, 8, 1}, args);
+      std::swap(src, dst);
+    }
+    std::vector<double> got(static_cast<std::size_t>(n * n));
+    rt.memcpy(got.data(), src, n * n * 8, MemcpyKind::DeviceToHost);
+    // The wall-clock/task meta-counters are nondeterministic by design;
+    // everything else must be tier-invariant.
+    RuntimeStats s = rt.stats();
+    s.resolutionTasks = 0;
+    s.resolutionWallSeconds = 0;
+    s.parallelWallSeconds = 0;
+    *statsOut = s;
+    return got;
+  };
+
+  for (bool cache : {false, true}) {
+    for (int threads : {0, 3}) {
+      for (int depth : {0, 2}) {
+        SCOPED_TRACE("cache=" + std::to_string(cache) + " threads=" +
+                     std::to_string(threads) + " depth=" +
+                     std::to_string(depth));
+        RuntimeStats refStats;
+        std::vector<double> ref =
+            run(codegen::EnumTier::Interpret, cache, threads, depth, &refStats);
+        ASSERT_EQ(ref, expect) << "interpreter tier diverges from reference";
+        for (codegen::EnumTier tier :
+             {codegen::EnumTier::Bytecode, codegen::EnumTier::Specialized}) {
+          RuntimeStats s;
+          std::vector<double> got = run(tier, cache, threads, depth, &s);
+          EXPECT_EQ(got, ref)
+              << "tier " << codegen::enumTierName(tier) << " diverges";
+          EXPECT_EQ(s, refStats)
+              << "tier " << codegen::enumTierName(tier)
+              << " perturbs deterministic runtime statistics";
+        }
+      }
+    }
+  }
+}
+
 /// Parameterized block-shape sweep: hotspot with non-square and non-dividing
 /// block shapes must still be exact (grid overhang both axes).
 class BlockShapeSweep

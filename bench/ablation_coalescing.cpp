@@ -15,6 +15,7 @@ int main() {
   using namespace polypart;
   using namespace polypart::benchutil;
 
+  openBenchReport("ablation_coalescing");
   printHeader("Ablation: enumerator full-row coalescing",
               "polypart design choice (DESIGN.md #1); baseline is the paper's per-row scheme");
 
@@ -50,6 +51,16 @@ int main() {
                         static_cast<double>(launches),
                     rt.elapsedSeconds());
         std::fflush(stdout);
+        json::Value& row = benchRow();
+        row["benchmark"] = apps::benchmarkName(b);
+        row["size"] = apps::problemSizeName(cfg.size);
+        row["gpus"] = g;
+        row["coalesce"] = coalesce;
+        row["rangesPerLaunch"] = static_cast<double>(rt.stats().rangesResolved) /
+                                 static_cast<double>(launches);
+        row["resolutionWallSecondsPerLaunch"] =
+            rt.stats().resolutionWallSeconds / static_cast<double>(launches);
+        row["simSeconds"] = rt.elapsedSeconds();
       }
     }
   }

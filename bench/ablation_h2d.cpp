@@ -13,6 +13,7 @@ int main() {
   using namespace polypart;
   using namespace polypart::benchutil;
 
+  openBenchReport("ablation_h2d");
   printHeader("Ablation: H2D distribution pattern (linear vs round-robin pages)",
               "paper Section 8.2 default vs alternative");
 
@@ -36,6 +37,14 @@ int main() {
                   static_cast<long long>(rt.stats().peerCopies),
                   static_cast<double>(rt.machineStats().bytesPeerToPeer) / 1e6);
       std::fflush(stdout);
+      json::Value& row = benchRow();
+      row["benchmark"] = "Matmul";
+      row["gpus"] = g;
+      row["pattern"] =
+          dist == rt::H2DDistribution::Linear ? "linear" : "round-robin";
+      row["simSeconds"] = rt.elapsedSeconds();
+      row["peerCopies"] = rt.stats().peerCopies;
+      row["bytesPeerToPeer"] = rt.machineStats().bytesPeerToPeer;
     }
   }
   std::printf("\nExpectation: the linear default keeps A's row reads aligned with\n"

@@ -14,6 +14,7 @@ int main() {
   using namespace polypart;
   using namespace polypart::benchutil;
 
+  openBenchReport("ablation_shared_copies");
   printHeader("Ablation: shared-copy tracking (extension of Section 8.3)",
               "paper limitation: single-owner tracker causes redundant transfers");
 
@@ -50,6 +51,14 @@ int main() {
                     static_cast<long long>(rt.stats().peerCopies),
                     static_cast<long long>(rt.stats().sharedCopyHits));
         std::fflush(stdout);
+        json::Value& row = benchRow();
+        row["benchmark"] = apps::benchmarkName(c.bench);
+        row["gpus"] = g;
+        row["sharedCopyTracking"] = shared;
+        row["simSeconds"] = rt.elapsedSeconds();
+        row["bytesPeerToPeer"] = rt.machineStats().bytesPeerToPeer;
+        row["peerCopies"] = rt.stats().peerCopies;
+        row["sharedCopyHits"] = rt.stats().sharedCopyHits;
       }
     }
   }

@@ -16,6 +16,7 @@ int main() {
   using namespace polypart;
   using namespace polypart::benchutil;
 
+  openBenchReport("baseline_uvm");
   printHeader("Baseline: polyhedral bulk transfers vs page migration (SVM/UVM)",
               "paper Section 10 related-work comparison");
 
@@ -95,6 +96,13 @@ int main() {
                   apps::benchmarkName(c.bench), g, pp.seconds, ut, ut / pp.seconds,
                   static_cast<long long>(uvm.stats().pagesMigrated));
       std::fflush(stdout);
+      json::Value& row = benchRow();
+      row["benchmark"] = apps::benchmarkName(c.bench);
+      row["gpus"] = g;
+      row["polypartSeconds"] = pp.seconds;
+      row["pageMigrationSeconds"] = ut;
+      row["ratio"] = ut / pp.seconds;
+      row["pagesMigrated"] = uvm.stats().pagesMigrated;
     }
   }
   std::printf("\nratio > 1: the compiler-directed runtime is faster.\n");

@@ -13,15 +13,66 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "analysis/analyze.h"
 #include "apps/drivers.h"
 #include "apps/kernels.h"
 #include "apps/workloads.h"
 #include "rt/runtime.h"
+#include "support/json.h"
 #include "support/trace.h"
 
 namespace polypart::benchutil {
+
+/// Machine-readable companion to the human-readable stdout tables: every
+/// figure/table bench opens a report in main() and appends one JSON object
+/// per printed row; the file `BENCH_<name>.json` is written in the working
+/// directory at process exit, next to the `bench_results/*.txt` stdout
+/// captures (EXPERIMENTS.md), so the perf trajectory is diffable across
+/// revisions.  The google-benchmark micros are excluded — they already emit
+/// JSON natively via `--benchmark_out`.
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  void open(std::string benchName) { name_ = std::move(benchName); }
+
+  /// Appends and returns a fresh row object; fill it with scalar metrics.
+  json::Value& row() {
+    rows_.push(json::Value::object());
+    return rows_.asArray().back();
+  }
+
+  ~JsonReport() {
+    if (name_.empty()) return;
+    json::Value doc = json::Value::object();
+    doc["bench"] = name_;
+    doc["rows"] = rows_;
+    const std::string path = "BENCH_" + name_ + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string text = doc.dump(2);
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
+
+ private:
+  JsonReport() : rows_(json::Value::array()) {}
+
+  std::string name_;
+  json::Value rows_;
+};
+
+/// Shorthands for the benches' row sites.
+inline void openBenchReport(const char* name) {
+  JsonReport::instance().open(name);
+}
+inline json::Value& benchRow() { return JsonReport::instance().row(); }
 
 /// Process-wide POLYPART_TRACE hook: null unless the environment variable is
 /// set, in which case the trace of every partitioned run is written to the

@@ -89,6 +89,7 @@ bool checkEquivalence() {
 int main(int argc, char** argv) {
   const double scale = parseItersScale(argc, argv);
 
+  openBenchReport("cache_repeat_launch");
   printHeader("Enumeration cache: repeated-launch resolution cost",
               "polypart extension (beyond the paper); baseline re-enumerates "
               "per launch as in Section 8.3");
@@ -124,6 +125,16 @@ int main(int argc, char** argv) {
                   static_cast<long long>(r.stats.enumCacheMisses),
                   static_cast<long long>(r.stats.enumCacheEvictions));
       std::fflush(stdout);
+      json::Value& row = benchRow();
+      row["benchmark"] = apps::benchmarkName(c.bench);
+      row["n"] = c.n;
+      row["gpus"] = c.gpus;
+      row["cache"] = cache;
+      row["launches"] = r.launches;
+      row["resolutionWallSeconds"] = r.wallSeconds;
+      row["enumCacheHits"] = r.stats.enumCacheHits;
+      row["enumCacheMisses"] = r.stats.enumCacheMisses;
+      row["enumCacheEvictions"] = r.stats.enumCacheEvictions;
     }
     std::printf("  %-8s %-7lld %4d  -> resolution wall-time speedup %.1fx\n",
                 apps::benchmarkName(c.bench), static_cast<long long>(c.n),

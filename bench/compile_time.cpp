@@ -161,6 +161,14 @@ void printTierTable() {
         folds;
     std::printf("  %-10s %9.2f us %9.2f us %9.2f us %7.2fx %9.2f us\n", c.name,
                 1e6 * ti, 1e6 * tb, 1e6 * ts, ti / ts, 1e6 * fold);
+    json::Value& row = benchutil::benchRow();
+    row["table"] = "tiers";
+    row["app"] = c.name;
+    row["interpretSeconds"] = ti;
+    row["bytecodeSeconds"] = tb;
+    row["specializedSeconds"] = ts;
+    row["speedup"] = ti / ts;
+    row["foldOnceSeconds"] = fold;
   }
   std::printf("\nInterpret is the paper-mode default; bytecode compiles each\n"
               "enumerator once per kernel; specialized additionally folds the\n"
@@ -175,6 +183,7 @@ int main() {
   using namespace polypart;
   using namespace polypart::benchutil;
 
+  openBenchReport("compile_time");
   printHeader("Compile-time overhead of the two-pass toolchain",
               "Matz et al., ICPP Workshops 2020, Section 3 (1.9x - 2.2x)");
 
@@ -198,6 +207,14 @@ int main() {
     std::printf("  %-10s %9.3f ms %9.3f ms %9.3f ms %9.3f ms %7.2fx\n",
                 apps::benchmarkName(b), 1e3 * ref / repeats, 1e3 * p1 / repeats,
                 1e3 * rw / repeats, 1e3 * p2 / repeats, ratio / repeats);
+    json::Value& row = benchRow();
+    row["table"] = "compile";
+    row["app"] = apps::benchmarkName(b);
+    row["referenceSeconds"] = ref / repeats;
+    row["pass1Seconds"] = p1 / repeats;
+    row["rewriteSeconds"] = rw / repeats;
+    row["pass2Seconds"] = p2 / repeats;
+    row["ratio"] = ratio / repeats;
   }
   std::printf("\nPaper reference: 1.9x - 2.2x, caused by invoking the device\n"
               "compiler (and its full pass pipeline) twice; the rewrite step\n"

@@ -1,0 +1,201 @@
+// Extension bench: cross-launch dataflow planning (rt/dataflow_plan.h;
+// DESIGN.md "Cross-launch dataflow planning").
+//
+// Workload: a Jacobi-style iterative solver loop of three kernels over
+// fixed buffers —
+//
+//   jacobi:   out[x] = (in[x-1] + in[x] + in[x+1]) / 3   (halo exchange)
+//   residual: part[j] = sum_k (out[j*K+k] - in[j*K+k])^2 (block reduction)
+//   copyback: in[x] = out[x]                             (next iteration's input)
+//
+// The loop is a period-3 launch cycle, so after two observed periods the
+// planner compiles the flow sets and runs the remaining iterations planned:
+// halo and reduction transfers are issued eagerly at the producing kernel's
+// completion (per-source floors) instead of inside the consumer's
+// barrier-bracketed resolution, and the paper's two global barriers per
+// launch are replaced by device-ordered dependencies.  The reactive column
+// (dataflowPlanning off) is the paper's Fig. 4 behaviour.
+//
+// Reported per (GPUs x column): modeled time, peer/prefetch copy counts,
+// prefetched and elided bytes, and the planned-launch share; the delta
+// column is the modeled-time reduction of planning over reactive.
+// Byte-identical functional results across the two columns are pinned by
+// tests/dataflow_plan_test.cpp — this bench measures timing only.
+
+#include "analysis/analyze.h"
+#include "bench/bench_util.h"
+#include "ir/builder.h"
+
+namespace {
+
+using namespace polypart;
+using ir::fconst;
+using ir::iconst;
+using ir::land;
+using ir::lt;
+
+constexpr i64 kElems = i64{1} << 20;
+constexpr i64 kBlock = 256;
+constexpr i64 kRed = 1024;  // reduction fan-in per partial
+
+ir::Module buildModule() {
+  ir::Module mod;
+  {
+    ir::KernelBuilder b("jacobi");
+    auto n = b.scalar("n", ir::Type::I64);
+    auto in = b.array("in", ir::Type::F64, {n});
+    auto out = b.array("out", ir::Type::F64, {n});
+    auto x = b.let("x", b.globalId(ir::Axis::X));
+    b.iff(lt(x, n), [&] {
+      b.iff(
+          land(ir::ge(x, iconst(1)), lt(x, n - iconst(1))),
+          [&] {
+            auto acc = b.let("acc", b.load(in, x - iconst(1)));
+            b.assign(acc, acc + b.load(in, x));
+            b.assign(acc, acc + b.load(in, x + iconst(1)));
+            b.store(out, x, acc * fconst(1.0 / 3.0));
+          },
+          [&] { b.store(out, x, b.load(in, x)); });
+    });
+    mod.addKernel(b.build());
+  }
+  {
+    ir::KernelBuilder b("residual");
+    auto m = b.scalar("m", ir::Type::I64);  // number of partials
+    auto in = b.array("in", ir::Type::F64, {m * iconst(kRed)});
+    auto out = b.array("out", ir::Type::F64, {m * iconst(kRed)});
+    auto part = b.array("part", ir::Type::F64, {m});
+    auto j = b.let("j", b.globalId(ir::Axis::X));
+    b.iff(lt(j, m), [&] {
+      auto acc = b.let("acc", fconst(0.0));
+      b.forLoop("k", iconst(0), iconst(kRed), [&](ir::ExprPtr k) {
+        auto idx = b.let("idx", j * iconst(kRed) + k);
+        auto d = b.let("d", b.load(out, idx) - b.load(in, idx));
+        b.assign(acc, acc + d * d);
+      });
+      b.store(part, j, acc);
+    });
+    mod.addKernel(b.build());
+  }
+  {
+    ir::KernelBuilder b("copyback");
+    auto n = b.scalar("n", ir::Type::I64);
+    auto out = b.array("out", ir::Type::F64, {n});
+    auto in = b.array("in", ir::Type::F64, {n});
+    auto x = b.let("x", b.globalId(ir::Axis::X));
+    b.iff(lt(x, n), [&] { b.store(in, x, b.load(out, x)); });
+    mod.addKernel(b.build());
+  }
+  return mod;
+}
+
+struct Row {
+  double seconds = 0;
+  rt::RuntimeStats stats;
+};
+
+Row runLoop(const analysis::ApplicationModel& model, const ir::Module& mod,
+            int gpus, bool planning, int iters) {
+  rt::RuntimeConfig cfg;
+  cfg.numGpus = gpus;
+  cfg.mode = sim::ExecutionMode::TimingOnly;
+  cfg.dataflowPlanning = planning;
+  cfg.machine.modelPeerLinks = true;
+  cfg.tracer = polypart::benchutil::envTracer();
+  rt::Runtime rt(cfg, model, mod);
+
+  const i64 bytes = kElems * 8;
+  const i64 parts = kElems / kRed;
+  rt::VirtualBuffer* vin = rt.malloc(bytes);
+  rt::VirtualBuffer* vout = rt.malloc(bytes);
+  rt::VirtualBuffer* vpart = rt.malloc(parts * 8);
+  rt.memcpy(vin, nullptr, bytes, rt::MemcpyKind::HostToDevice);
+
+  const ir::Dim3 block{kBlock, 1, 1};
+  const ir::Dim3 jGrid{kElems / kBlock, 1, 1};
+  const ir::Dim3 rGrid{parts / kBlock, 1, 1};
+  for (int it = 0; it < iters; ++it) {
+    rt::LaunchArg jac[] = {rt::LaunchArg::ofInt(kElems),
+                           rt::LaunchArg::ofBuffer(vin),
+                           rt::LaunchArg::ofBuffer(vout)};
+    rt.launch("jacobi", jGrid, block, jac);
+    rt::LaunchArg red[] = {rt::LaunchArg::ofInt(parts),
+                           rt::LaunchArg::ofBuffer(vin),
+                           rt::LaunchArg::ofBuffer(vout),
+                           rt::LaunchArg::ofBuffer(vpart)};
+    rt.launch("residual", rGrid, block, red);
+    rt::LaunchArg cpy[] = {rt::LaunchArg::ofInt(kElems),
+                           rt::LaunchArg::ofBuffer(vout),
+                           rt::LaunchArg::ofBuffer(vin)};
+    rt.launch("copyback", jGrid, block, cpy);
+  }
+  rt.deviceSynchronize();
+  return Row{rt.elapsedSeconds(), rt.stats()};
+}
+
+void printRow(int gpus, bool planning, const Row& r, double reactiveSeconds) {
+  const double delta =
+      planning && reactiveSeconds > 0
+          ? 100.0 * (reactiveSeconds - r.seconds) / reactiveSeconds
+          : 0.0;
+  std::printf(
+      "  %4d %8s  %12.4f  %10lld  %10lld  %12.1f  %10.1f  %7lld/%-5lld  %6.1f\n",
+      gpus, planning ? "planned" : "reactive", r.seconds,
+      static_cast<long long>(r.stats.peerCopies),
+      static_cast<long long>(r.stats.prefetchCopies),
+      static_cast<double>(r.stats.bytesPrefetched) / 1e6,
+      static_cast<double>(r.stats.bytesElided) / 1e3,
+      static_cast<long long>(r.stats.plannedLaunches),
+      static_cast<long long>(r.stats.launches), delta);
+  std::fflush(stdout);
+
+  json::Value& row = polypart::benchutil::benchRow();
+  row["gpus"] = gpus;
+  row["mode"] = planning ? "planned" : "reactive";
+  row["simSeconds"] = r.seconds;
+  row["peerCopies"] = r.stats.peerCopies;
+  row["prefetchCopies"] = r.stats.prefetchCopies;
+  row["bytesPrefetched"] = r.stats.bytesPrefetched;
+  row["bytesElided"] = r.stats.bytesElided;
+  row["plannedLaunches"] = r.stats.plannedLaunches;
+  row["launches"] = r.stats.launches;
+  row["planActivations"] = r.stats.planActivations;
+  row["planDivergences"] = r.stats.planDivergences;
+  row["deltaPercent"] = delta;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace polypart::benchutil;
+
+  openBenchReport("dataflow_plan");
+  printHeader("Extension: cross-launch dataflow planning",
+              "beyond the paper; Section 8.3 resolves reactively per launch");
+
+  const double scale = parseItersScale(argc, argv);
+  int iters = static_cast<int>(24 * scale);
+  if (iters < 3) iters = 3;
+
+  ir::Module mod = buildModule();
+  analysis::ApplicationModel model = analysis::analyzeModule(mod);
+
+  std::printf("\n  %4s %8s  %12s  %10s  %10s  %12s  %10s  %13s  %6s\n", "GPUs",
+              "mode", "sim time [s]", "peerCopies", "prefetch", "pref [MB]",
+              "elided[KB]", "planned/total", "d%");
+  for (int gpus : {8, 16, 32}) {
+    Row reactive = runLoop(model, mod, gpus, /*planning=*/false, iters);
+    printRow(gpus, false, reactive, 0.0);
+    Row planned = runLoop(model, mod, gpus, /*planning=*/true, iters);
+    printRow(gpus, true, planned, reactive.seconds);
+  }
+
+  std::printf(
+      "\nExpectation: the planned column replaces the paper's per-launch\n"
+      "barrier pair with device-ordered dependencies and issues the halo\n"
+      "and reduction flows at producer completion, so modeled time drops\n"
+      ">= 20%% at 8+ GPUs while the reactive column re-discovers the same\n"
+      "transfers inside every launch.  Byte-identical results across both\n"
+      "columns: tests/dataflow_plan_test.cpp.\n");
+  return 0;
+}

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace polypart::benchutil;
 
   double scale = parseItersScale(argc, argv);
+  openBenchReport("fig6_speedup");
   printHeader("Figure 6: Speedup of the benchmarks for up to 16 GPUs",
               "Matz et al., ICPP Workshops 2020, Figure 6");
   if (scale != 1.0)
@@ -44,6 +45,14 @@ int main(int argc, char** argv) {
         }
         std::printf("  %6.2f", speedup);
         std::fflush(stdout);
+        json::Value& row = benchRow();
+        row["benchmark"] = apps::benchmarkName(b);
+        row["size"] = apps::problemSizeName(size);
+        row["n"] = cfg.problemSize;
+        row["gpus"] = g;
+        row["simSeconds"] = r.seconds;
+        row["refSeconds"] = ref;
+        row["speedup"] = speedup;
       }
       std::printf("   (max %.2fx @ %dG)\n", best, bestG);
     }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace polypart::benchutil;
 
   double scale = parseItersScale(argc, argv);
+  openBenchReport("fig7_breakdown");
   printHeader("Figure 7: Breakdown of the execution time of transformed applications",
               "Matz et al., ICPP Workshops 2020, Figure 7 (alpha/beta/gamma method)");
 
@@ -36,6 +37,15 @@ int main(int argc, char** argv) {
       std::printf("  %4d  %10.3f  %11.1f%%  %11.1f%%  %11.1f%%\n", g, alpha,
                   100 * tApp, 100 * tTransfers, 100 * tPatterns);
       std::fflush(stdout);
+      json::Value& row = benchRow();
+      row["benchmark"] = apps::benchmarkName(b);
+      row["gpus"] = g;
+      row["alphaSeconds"] = alpha;
+      row["betaSeconds"] = beta;
+      row["gammaSeconds"] = gamma;
+      row["applicationShare"] = tApp;
+      row["transfersShare"] = tTransfers;
+      row["patternsShare"] = tPatterns;
     }
   }
 

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace polypart::benchutil;
 
   double scale = parseItersScale(argc, argv);
+  openBenchReport("fig8_overhead");
   printHeader("Figure 8: Overhead of the runtime system (non-transfer fraction)",
               "Matz et al., ICPP Workshops 2020, Figure 8");
 
@@ -37,6 +38,14 @@ int main(int argc, char** argv) {
                     apps::benchmarkName(b), apps::problemSizeName(size), g, beta,
                     gamma, 100 * frac);
         std::fflush(stdout);
+        json::Value& row = benchRow();
+        row["benchmark"] = apps::benchmarkName(b);
+        row["size"] = apps::problemSizeName(size);
+        row["gpus"] = g;
+        row["alphaSeconds"] = alpha;
+        row["betaSeconds"] = beta;
+        row["gammaSeconds"] = gamma;
+        row["overheadFraction"] = frac;
       }
     }
   }

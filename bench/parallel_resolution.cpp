@@ -98,6 +98,7 @@ bool checkEquivalence() {
 int main(int argc, char** argv) {
   const double scale = parseItersScale(argc, argv);
 
+  openBenchReport("parallel_resolution");
   printHeader("Parallel dependency resolution: thread scaling",
               "polypart extension (beyond the paper); serial baseline is the "
               "Section 8.3 resolution loop");
@@ -139,6 +140,16 @@ int main(int argc, char** argv) {
                   static_cast<long long>(r.tasks),
                   serialWall / r.resolveSeconds);
       std::fflush(stdout);
+      json::Value& row = benchRow();
+      row["benchmark"] = apps::benchmarkName(c.bench);
+      row["n"] = c.n;
+      row["gpus"] = c.gpus;
+      row["threads"] = threads;
+      row["launches"] = r.launches;
+      row["resolutionWallSeconds"] = r.resolveSeconds;
+      row["parallelWallSeconds"] = r.parallelSeconds;
+      row["resolutionTasks"] = r.tasks;
+      row["speedup"] = serialWall / r.resolveSeconds;
     }
   }
 

@@ -113,6 +113,7 @@ PipeRun runStream(int depth, int tenants, i64 n, int itersPerTenant, int gpus) {
 
 int main(int argc, char** argv) {
   const double scale = parseItersScale(argc, argv);
+  openBenchReport("pipelined_launch");
   printHeader("Pipelined launch engine: submission/commit overlap",
               "extension (pipelined launches & tenancy; see DESIGN.md)");
 
@@ -140,6 +141,15 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.launches), r.wallSeconds, r.inFlight,
                 r.resolveSeconds,
                 r.wallSeconds > 0 ? 100.0 * overlap / r.wallSeconds : 0.0);
+    json::Value& row = benchRow();
+    row["config"] = name;
+    row["launches"] = r.launches;
+    row["wallSeconds"] = r.wallSeconds;
+    row["inFlight"] = r.inFlight;
+    row["resolutionWallSeconds"] = r.resolveSeconds;
+    row["overlapFraction"] =
+        r.wallSeconds > 0 ? overlap / r.wallSeconds : 0.0;
+    row["simSeconds"] = r.simSeconds;
   };
   report("serial (depth 0)", serial);
   for (int depth : {1, 2, 4}) {

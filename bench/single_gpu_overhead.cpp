@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace polypart::benchutil;
 
   double scale = parseItersScale(argc, argv);
+  openBenchReport("single_gpu_overhead");
   printHeader("Single-GPU overhead of the partitioned binaries",
               "Matz et al., ICPP Workshops 2020, Section 9.2");
 
@@ -32,6 +33,12 @@ int main(int argc, char** argv) {
       std::printf("  %-8s %-7s  %12.3f  %12.3f  %9.2f%%\n", apps::benchmarkName(b),
                   apps::problemSizeName(size), ref, part, 100 * slowdown);
       std::fflush(stdout);
+      json::Value& row = benchRow();
+      row["benchmark"] = apps::benchmarkName(b);
+      row["size"] = apps::problemSizeName(size);
+      row["referenceSeconds"] = ref;
+      row["partitionedSeconds"] = part;
+      row["slowdownFraction"] = slowdown;
     }
   }
 

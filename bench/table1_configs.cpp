@@ -7,6 +7,7 @@ int main() {
   using namespace polypart;
   using namespace polypart::benchutil;
 
+  openBenchReport("table1_configs");
   printHeader("Table 1: Configurations of the benchmark applications",
               "Matz et al., ICPP Workshops 2020, Table 1");
 
@@ -56,6 +57,12 @@ int main() {
       }
       std::printf("  %-10s %-7s %16.0f %18.1f\n", apps::benchmarkName(b),
                   apps::problemSizeName(s), threads, megabytes);
+      json::Value& row = benchRow();
+      row["benchmark"] = apps::benchmarkName(b);
+      row["size"] = apps::problemSizeName(s);
+      row["problemSize"] = n;
+      row["threadsPerLaunch"] = threads;
+      row["modeledMegabytes"] = megabytes;
     }
   }
   return 0;

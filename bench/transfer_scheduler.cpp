@@ -115,6 +115,17 @@ void printRow(const char* name, int gpus, bool sched, rt::Runtime& rt) {
       static_cast<double>(rt.stats().bytesSavedByDedup) / 1e3,
       static_cast<double>(rt.machineStats().bytesPeerToPeer) / 1e6);
   std::fflush(stdout);
+  json::Value& row = polypart::benchutil::benchRow();
+  row["benchmark"] = name;
+  row["gpus"] = gpus;
+  row["scheduling"] = sched;
+  row["simSeconds"] = rt.elapsedSeconds();
+  row["transferBusySeconds"] = rt.machineStats().transferBusySeconds;
+  row["peerCopies"] = rt.stats().peerCopies;
+  row["transfersMerged"] = rt.stats().transfersMerged;
+  row["broadcastChains"] = rt.stats().broadcastChains;
+  row["bytesSavedByDedup"] = rt.stats().bytesSavedByDedup;
+  row["bytesPeerToPeer"] = rt.machineStats().bytesPeerToPeer;
 }
 
 constexpr i64 kElems = i64{1} << 20;
@@ -177,6 +188,7 @@ void runMatmulBench(int gpus, bool sched) {
 int main(int argc, char** argv) {
   using namespace polypart::benchutil;
 
+  openBenchReport("transfer_scheduler");
   printHeader("Extension: topology-aware transfer scheduling",
               "beyond the paper; Section 8.3 issues copies on discovery");
 

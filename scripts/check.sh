@@ -3,10 +3,11 @@
 # and a TSan configuration covering the parallel resolution engine — the same
 # recipes .claude/skills/verify/SKILL.md documents, run back to back.
 #
-#   scripts/check.sh            # everything (tier-1, asan, tsan, bytecode)
+#   scripts/check.sh            # everything (tier-1, asan, tsan, bytecode, dataflow)
 #   scripts/check.sh tier1      # just the default build + full test suite
 #   scripts/check.sh asan tsan  # just the sanitizer configurations
 #   scripts/check.sh bytecode   # sanitizer trees re-run under the bytecode tier
+#   scripts/check.sh dataflow   # sanitizer trees re-run with dataflow planning on
 #
 # Each configuration uses its own build tree (build/, build-asan/, build-tsan/;
 # all gitignored).  TSan cannot be combined with ASan in one tree — the
@@ -16,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan bytecode)
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan bytecode dataflow)
 
 run() {
   echo
@@ -88,8 +89,37 @@ for stage in "${stages[@]}"; do
       run env POLYPART_ENUMERATOR_TIER=bytecode \
         ctest --test-dir build-tsan -j "$jobs" --output-on-failure -L fuzz
       ;;
+    dataflow)
+      # Cross-launch dataflow planning pass: POLYPART_DATAFLOW_PLANNING=1
+      # flips the RuntimeConfig *default* (rt/runtime.cpp), so every suite
+      # that does not pin the knob re-runs with plan compilation, eager
+      # prefetch, and dead-transfer elision live on the launch path.  The
+      # planner touches the tracker from the commit path and skips the
+      # per-launch barriers, so ASan/UBSan and TSan both matter here; the
+      # dataflow and determinism suites plus the randomized differential
+      # fuzz runs are the selection.  Reuses the sanitizer trees the
+      # asan/tsan stages configure.
+      run cmake -B build-asan -S . -DPOLYPART_SANITIZE=address,undefined
+      run cmake --build build-asan -j "$jobs"
+      run env POLYPART_DATAFLOW_PLANNING=1 \
+        ctest --test-dir build-asan -j "$jobs" --output-on-failure \
+        -R 'Dataflow|CacheCounters|Runtime|Pipelined|ParallelResolution|TransferPlan|Tracker' \
+        -LE fuzz
+      run env POLYPART_DATAFLOW_PLANNING=1 \
+        ctest --test-dir build-asan -j "$jobs" --output-on-failure -L fuzz
+      run cmake -B build-tsan -S . -DPOLYPART_SANITIZE=thread
+      run cmake --build build-tsan -j "$jobs"
+      # Planning composes with the threaded resolution engine and the
+      # pipelined launch engine; those suites under TSan are the point.
+      run env POLYPART_DATAFLOW_PLANNING=1 \
+        ctest --test-dir build-tsan -j "$jobs" --output-on-failure \
+        -R 'Dataflow|CacheCounters|Runtime|Pipelined|ParallelResolution|TransferPlan|Tracker' \
+        -LE fuzz
+      run env POLYPART_DATAFLOW_PLANNING=1 \
+        ctest --test-dir build-tsan -j "$jobs" --output-on-failure -L fuzz
+      ;;
     *)
-      echo "unknown stage '$stage' (expected: tier1, asan, tsan, bytecode)" >&2
+      echo "unknown stage '$stage' (expected: tier1, asan, tsan, bytecode, dataflow)" >&2
       exit 2
       ;;
   esac

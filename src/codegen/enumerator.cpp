@@ -1,6 +1,7 @@
 #include "codegen/enumerator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <limits>
 #include <mutex>
@@ -100,7 +101,19 @@ struct Enumerator::SpecCache {
                      EnumerationKeyHash, SpecKeyEq>
       map;
   std::deque<EnumerationKey> order;
+  // Observational counters (see specCacheCounters()); relaxed atomics so the
+  // Interpret/Bytecode tiers pay nothing and Specialized pays one increment.
+  std::atomic<i64> hits{0};
+  std::atomic<i64> misses{0};
+  std::atomic<i64> evictions{0};
 };
+
+Enumerator::SpecCacheCounters Enumerator::specCacheCounters() const {
+  const SpecCache& c = *specCache_;
+  return {c.hits.load(std::memory_order_relaxed),
+          c.misses.load(std::memory_order_relaxed),
+          c.evictions.load(std::memory_order_relaxed)};
+}
 
 Enumerator::Enumerator(const KernelModel& model, const ArrayModel& array,
                        bool isWrite)
@@ -183,8 +196,12 @@ std::shared_ptr<const bc::Program> Enumerator::specializedFor(
     // built or copied on the fast path.
     std::lock_guard<std::mutex> lock(cache.mu);
     auto it = cache.map.find(params);
-    if (it != cache.map.end()) return it->second;
+    if (it != cache.map.end()) {
+      cache.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
+  cache.misses.fetch_add(1, std::memory_order_relaxed);
   // Fold outside the lock; racing misses on one key specialize twice and the
   // first insert wins (the fold is pure, so both programs are equivalent).
   auto fresh =
@@ -200,6 +217,7 @@ std::shared_ptr<const bc::Program> Enumerator::specializedFor(
     while (cache.order.size() > SpecCache::kMaxPrograms) {
       cache.map.erase(cache.order.front());
       cache.order.pop_front();
+      cache.evictions.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return it->second;

@@ -170,6 +170,17 @@ class Enumerator {
   /// would compile; used by documentation and tests).
   std::string emitC() const;
 
+  /// Specialized-program cache counters since construction, shared across
+  /// copies of this enumerator.  Observational: racing misses on one key
+  /// under parallel resolution each count as a miss, so treat the values as
+  /// monotone telemetry, not byte-deterministic state.
+  struct SpecCacheCounters {
+    i64 hits = 0;
+    i64 misses = 0;
+    i64 evictions = 0;
+  };
+  SpecCacheCounters specCacheCounters() const;
+
  private:
   /// Parameter vectors are short (6 launch words + scalars + 12 partition
   /// words) and built on every enumerate() call; inline storage keeps the

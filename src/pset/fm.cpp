@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -228,6 +229,12 @@ std::mutex memoMutex;
 std::unordered_map<MemoKey, ElimResult, MemoKeyHash> memoTable;  // NOLINT
 std::deque<MemoKey> memoOrder;                                   // NOLINT
 
+// Observational counters (see FmMemoCounters in fm_internal.h); relaxed
+// atomics because only monotonicity matters, not ordering.
+std::atomic<i64> memoHits{0};       // NOLINT
+std::atomic<i64> memoMisses{0};     // NOLINT
+std::atomic<i64> memoEvictions{0};  // NOLINT
+
 MemoKey memoKeyFor(const std::vector<Constraint>& rows,
                    const std::vector<bool>& elim) {
   MemoKey k;
@@ -297,10 +304,14 @@ ElimResult eliminateColumns(std::vector<Constraint> rows,
   {
     std::lock_guard<std::mutex> lock(memoMutex);
     auto it = memoTable.find(key);
-    if (it != memoTable.end()) return it->second;
+    if (it != memoTable.end()) {
+      memoHits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
   // Computed outside the lock: concurrent misses on the same key merely
   // duplicate the (pure) work; the first insert wins.
+  memoMisses.fetch_add(1, std::memory_order_relaxed);
   ElimResult res = eliminateColumnsImpl(std::move(rows), elim);
   std::lock_guard<std::mutex> lock(memoMutex);
   auto [it, inserted] = memoTable.try_emplace(std::move(key), res);
@@ -309,9 +320,20 @@ ElimResult eliminateColumns(std::vector<Constraint> rows,
     while (memoOrder.size() > kMemoEntries) {
       memoTable.erase(memoOrder.front());
       memoOrder.pop_front();
+      memoEvictions.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return it->second;
 }
 
 }  // namespace polypart::pset::detail
+
+namespace polypart::pset {
+
+FmMemoCounters fmMemoCounters() {
+  return {detail::memoHits.load(std::memory_order_relaxed),
+          detail::memoMisses.load(std::memory_order_relaxed),
+          detail::memoEvictions.load(std::memory_order_relaxed)};
+}
+
+}  // namespace polypart::pset

@@ -37,3 +37,21 @@ ElimResult eliminateColumns(std::vector<Constraint> rows,
 i64 evalRow(const LinExpr& e, const std::vector<i64>& values);
 
 }  // namespace polypart::pset::detail
+
+namespace polypart::pset {
+
+/// Process-wide counters of the Fourier-Motzkin projection memo table
+/// (fm.cpp).  Monotone over the process lifetime; the runtime samples them
+/// as deltas from a construction-time baseline to expose per-runtime cache
+/// behaviour through RuntimeStats.  Racing misses on one key each count as a
+/// miss (both threads did the work), so the counts are observational, not
+/// byte-deterministic across thread interleavings.
+struct FmMemoCounters {
+  i64 hits = 0;
+  i64 misses = 0;
+  i64 evictions = 0;
+};
+
+FmMemoCounters fmMemoCounters();
+
+}  // namespace polypart::pset

@@ -42,6 +42,17 @@ class Set {
   /// Projects the given dimensions out of every disjunct.
   Set projectOut(DimKind kind, std::size_t first, std::size_t count) const;
 
+  /// Set difference `this \ o` by exact complement splitting: every
+  /// subtrahend disjunct with constraints c_0..c_{k-1} splits each remaining
+  /// disjunct A into the pairwise-disjoint pieces
+  /// A ∩ c_0 ∩ .. ∩ c_{j-1} ∩ ¬c_j (over the integers ¬(e >= 0) is
+  /// -e - 1 >= 0; an equality contributes both of its inequalities).  The
+  /// disjunct count is capped; past the cap the offending subtrahend part is
+  /// skipped and the result marked inexact — a sound *over*-approximation,
+  /// which is the safe direction for dead-transfer elision (clients prefetch
+  /// a superset of the live flow).
+  Set subtract(const Set& o) const;
+
   /// Empty (definitely), NonEmpty (definitely over Z), or Unknown.
   Tri emptiness() const;
 

@@ -1,0 +1,361 @@
+#include "rt/dataflow_plan.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "codegen/enumerator.h"
+#include "pset/ast.h"
+#include "rt/runtime.h"
+#include "support/arith.h"
+
+namespace polypart::rt {
+
+using analysis::ArrayModel;
+using analysis::KernelModel;
+using codegen::PartitionTuple;
+using pset::BasicSet;
+using pset::Constraint;
+using pset::Set;
+using pset::Space;
+
+DataflowPlanner::DataflowPlanner(int numGpus, i64 elemBytes,
+                                 PartitionFn partitionFor)
+    : numGpus_(numGpus),
+      elemBytes_(elemBytes),
+      partitionFor_(std::move(partitionFor)) {
+  PP_ASSERT(numGpus_ >= 1 && elemBytes_ > 0 && partitionFor_ != nullptr);
+}
+
+DataflowPlanner::~DataflowPlanner() = default;
+
+bool DataflowPlanner::Step::matches(const Step& o) const {
+  return kernelTag == o.kernelTag && grid == o.grid && block == o.block &&
+         scalars == o.scalars && buffers == o.buffers;
+}
+
+DataflowPlanner::Step DataflowPlanner::makeStep(
+    const KernelModel& model, const void* kernelTag,
+    const ir::LaunchConfig& cfg, std::span<VirtualBuffer* const> buffers,
+    std::span<const i64> scalars) const {
+  Step st;
+  st.model = &model;
+  st.kernelTag = kernelTag;
+  st.grid = cfg.grid;
+  st.block = cfg.block;
+  st.scalars.assign(scalars.begin(), scalars.end());
+  st.buffers.assign(buffers.begin(), buffers.end());
+  return st;
+}
+
+std::size_t DataflowPlanner::detectPeriod() const {
+  for (std::size_t p = 1; p <= kMaxPeriod; ++p) {
+    if (history_.size() < 2 * p) break;
+    bool match = true;
+    const std::size_t n = history_.size();
+    for (std::size_t i = 0; i < p && match; ++i)
+      match = history_[n - p + i].matches(history_[n - 2 * p + i]);
+    if (match) return p;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Model-parameter values of one launch: [bd.x, bd.y, bd.z, gd.x, gd.y,
+/// gd.z, <i64 scalars in declaration order>] — the model param space layout.
+std::vector<i64> paramVec(const ir::Dim3& grid, const ir::Dim3& block,
+                          std::span<const i64> scalars) {
+  std::vector<i64> v{block.x, block.y, block.z, grid.x, grid.y, grid.z};
+  v.insert(v.end(), scalars.begin(), scalars.end());
+  return v;
+}
+
+/// Canonical rank-r element space all flow sets of one array are rebased
+/// into: access maps of different kernels name their output dims
+/// differently, and Space equality includes names.
+Space canonSpace(std::size_t rank) {
+  std::vector<std::string> names;
+  names.reserve(rank);
+  for (std::size_t i = 0; i < rank; ++i) names.push_back("d" + std::to_string(i));
+  return Space::set({}, names);
+}
+
+/// Copies a set into `canon` (same rank, zero params on both sides, so the
+/// column layouts match and constraints transfer verbatim).
+Set rebase(const Set& s, const Space& canon) {
+  Set out(canon);
+  if (!s.exact()) out.markInexact();
+  for (const BasicSet& part : s.parts()) {
+    if (part.markedEmpty()) continue;
+    BasicSet aligned(canon);
+    for (const Constraint& c : part.constraints()) aligned.add(c);
+    aligned.simplify();
+    if (!aligned.markedEmpty()) out.addPart(std::move(aligned));
+  }
+  return out;
+}
+
+/// Concrete array extents for one launch, outermost first; rank-1 arrays
+/// without a declared shape span the whole buffer.  nullopt when a shape
+/// row does not evaluate to a positive extent.
+std::optional<std::vector<i64>> evalShape(const ArrayModel& a,
+                                          std::span<const i64> params,
+                                          const VirtualBuffer& buf,
+                                          i64 elemBytes) {
+  std::vector<i64> dims;
+  if (a.shape.empty()) {
+    dims.push_back(buf.bytes() / elemBytes);
+  } else {
+    try {
+      for (const pset::LinExpr& row : a.shape) {
+        i64 v = row.constantTerm();
+        for (std::size_t p = 0; p < params.size(); ++p)
+          v = checkedAdd(v, checkedMul(row[p + 1], params[p]));
+        dims.push_back(v);
+      }
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  for (i64 d : dims)
+    if (d <= 0) return std::nullopt;
+  return dims;
+}
+
+struct Flattened {
+  std::vector<std::pair<i64, i64>> ranges;  // merged half-open element ranges
+  i64 elems = 0;
+};
+
+/// Scans every part of a concrete (parameter-free) flow set into flattened
+/// element ranges under row-major `dims`, merged and clipped to the array.
+/// nullopt when a part cannot be scanned or the range count explodes.
+std::optional<Flattened> flatten(const Set& s, const std::vector<i64>& dims,
+                                 i64 totalElems, std::size_t maxRanges) {
+  const std::size_t rank = dims.size();
+  std::vector<i64> strides(rank, 1);
+  for (std::size_t i = rank - 1; i > 0; --i)
+    strides[i - 1] = strides[i] * dims[i];
+  std::vector<std::pair<i64, i64>> raw;
+  try {
+    for (const BasicSet& part : s.parts()) {
+      if (part.markedEmpty()) continue;
+      pset::ScanNest nest = pset::buildScan(part);
+      pset::scanRows(nest, {}, [&](std::span<const i64> coords, i64 lo, i64 hi) {
+        i64 base = 0;
+        for (std::size_t i = 0; i < coords.size(); ++i)
+          base = checkedAdd(base, checkedMul(coords[i], strides[i]));
+        i64 b = std::max<i64>(checkedAdd(base, lo), 0);
+        i64 e = std::min<i64>(checkedAdd(checkedAdd(base, hi), 1), totalElems);
+        if (b < e) raw.emplace_back(b, e);
+      });
+      if (raw.size() > maxRanges) throw OverflowError("flow set too fragmented");
+    }
+  } catch (...) {
+    return std::nullopt;
+  }
+  std::sort(raw.begin(), raw.end());
+  Flattened out;
+  for (const auto& [b, e] : raw) {
+    if (!out.ranges.empty() && b <= out.ranges.back().second)
+      out.ranges.back().second = std::max(out.ranges.back().second, e);
+    else
+      out.ranges.emplace_back(b, e);
+  }
+  for (const auto& [b, e] : out.ranges) out.elems += e - b;
+  return out;
+}
+
+}  // namespace
+
+bool DataflowPlanner::compilePlan() {
+  const std::size_t p = cycle_.size();
+  edgesByStep_.assign(p, {});
+  // Kernels whose write patterns only instrumentation can observe have no
+  // static write map to compose — the whole cycle stays reactive.
+  for (const Step& st : cycle_)
+    for (const ArrayModel& a : st.model->arrays)
+      if (a.writeInstrumented) return false;
+
+  for (std::size_t s = 0; s < p; ++s) {
+    const Step& prod = cycle_[s];
+    const std::vector<i64> prodParams =
+        paramVec(prod.grid, prod.block, prod.scalars);
+    for (const ArrayModel& wa : prod.model->arrays) {
+      if (!wa.hasWrites()) continue;
+      VirtualBuffer* buf = prod.buffers[wa.argIndex];
+      if (buf == nullptr) continue;
+      std::optional<std::vector<i64>> prodDims =
+          evalShape(wa, prodParams, *buf, elemBytes_);
+      if (!prodDims) continue;
+      i64 totalElems = 1;
+      try {
+        for (i64 d : *prodDims) totalElems = checkedMul(totalElems, d);
+      } catch (...) {
+        continue;
+      }
+      totalElems = std::min(totalElems, buf->bytes() / elemBytes_);
+      const Space canon = canonSpace(prodDims->size());
+
+      // This step's concrete write set per producing device.
+      std::vector<Set> wsets;
+      wsets.reserve(static_cast<std::size_t>(numGpus_));
+      for (int g = 0; g < numGpus_; ++g) {
+        ir::GridPartition gp = partitionFor_(*prod.model, prod.grid, g);
+        if (gp.blockCount() == 0) {
+          wsets.emplace_back(canon);
+          continue;
+        }
+        PartitionTuple t = PartitionTuple::fromBlocks(gp, prod.block);
+        wsets.push_back(
+            rebase(wa.write.rangeUnderBox(prodParams, t.lo, t.hi), canon));
+      }
+
+      // Walk the downstream steps cyclically.  Reads at distance d consume
+      // against the writes accumulated at distances 1..d-1 (the kill set);
+      // d == p wraps to the producer's own next iteration (its re-reads are
+      // flow too; its writes are this step's own, not a kill).
+      Set kill(canon);
+      for (std::size_t d = 1; d <= p; ++d) {
+        const std::size_t c = (s + d) % p;
+        const Step& cons = cycle_[c];
+        const std::vector<i64> consParams =
+            paramVec(cons.grid, cons.block, cons.scalars);
+
+        for (const ArrayModel& ra : cons.model->arrays) {
+          if (!ra.hasReads()) continue;
+          if (cons.buffers[ra.argIndex] != buf) continue;
+          std::optional<std::vector<i64>> consDims =
+              evalShape(ra, consParams, *buf, elemBytes_);
+          // Incompatible flattening geometries cannot be related statically;
+          // skip the edge (the reactive path still moves the bytes).
+          if (!consDims || *consDims != *prodDims) continue;
+
+          FlowEdge edge;
+          edge.producerStep = s;
+          edge.consumerStep = c;
+          edge.argIndex = wa.argIndex;
+          bool ok = true;
+          for (int gDst = 0; gDst < numGpus_ && gDst < 64 && ok; ++gDst) {
+            ir::GridPartition gp = partitionFor_(*cons.model, cons.grid, gDst);
+            if (gp.blockCount() == 0) continue;
+            PartitionTuple t = PartitionTuple::fromBlocks(gp, cons.block);
+            Set rset =
+                rebase(ra.read.rangeUnderBox(consParams, t.lo, t.hi), canon);
+            if (rset.parts().empty()) continue;
+            for (int gSrc = 0; gSrc < numGpus_ && ok; ++gSrc) {
+              if (gSrc == gDst) continue;
+              Set flow = wsets[static_cast<std::size_t>(gSrc)].intersect(rset);
+              flow.pruneEmptyParts();
+              if (flow.parts().empty()) continue;
+              Set live = flow.subtract(kill);
+              live.pruneEmptyParts();
+              std::optional<Flattened> flowFlat =
+                  flatten(flow, *prodDims, totalElems, kMaxRangesPerEdge);
+              std::optional<Flattened> liveFlat =
+                  flatten(live, *prodDims, totalElems, kMaxRangesPerEdge);
+              if (!flowFlat || !liveFlat) {
+                ok = false;
+                break;
+              }
+              edge.elidedBytes +=
+                  (flowFlat->elems - liveFlat->elems) * elemBytes_;
+              if (!liveFlat->ranges.empty()) {
+                PlannedTransfer pt;
+                pt.src = gSrc;
+                pt.dst = gDst;
+                pt.byteRanges.reserve(liveFlat->ranges.size());
+                for (const auto& [b, e] : liveFlat->ranges)
+                  pt.byteRanges.emplace_back(b * elemBytes_, e * elemBytes_);
+                edge.transfers.push_back(std::move(pt));
+              }
+            }
+          }
+          if (ok && (!edge.transfers.empty() || edge.elidedBytes > 0))
+            edgesByStep_[s].push_back(std::move(edge));
+        }
+
+        if (d == p) break;
+        for (const ArrayModel& wa2 : cons.model->arrays) {
+          if (!wa2.hasWrites()) continue;
+          if (cons.buffers[wa2.argIndex] != buf) continue;
+          std::optional<std::vector<i64>> killDims =
+              evalShape(wa2, consParams, *buf, elemBytes_);
+          // A write we cannot relate to the producer's geometry is simply
+          // not subtracted — elision only ever under-fires (safe: the
+          // tracker clip at issue time discards any stale prefetch).
+          if (!killDims || *killDims != *prodDims) continue;
+          for (int g = 0; g < numGpus_; ++g) {
+            ir::GridPartition gp = partitionFor_(*cons.model, cons.grid, g);
+            if (gp.blockCount() == 0) continue;
+            PartitionTuple t = PartitionTuple::fromBlocks(gp, cons.block);
+            kill = kill.unionWith(
+                rebase(wa2.write.rangeUnderBox(consParams, t.lo, t.hi), canon));
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+DataflowPlanner::Observation DataflowPlanner::observe(
+    const KernelModel& model, const void* kernelTag,
+    const ir::LaunchConfig& cfg, std::span<VirtualBuffer* const> buffers,
+    std::span<const i64> scalars) {
+  Observation obs;
+  Step sig = makeStep(model, kernelTag, cfg, buffers, scalars);
+
+  if (active_) {
+    if (sig.matches(cycle_[pos_])) {
+      obs.planned = true;
+      obs.step = pos_;
+      pos_ = (pos_ + 1) % cycle_.size();
+      return obs;
+    }
+    // Off-plan launch: degrade to reactive and start recording afresh (the
+    // application may settle into a new cycle, e.g. after a phase change).
+    obs.diverged = true;
+    active_ = false;
+    cycle_.clear();
+    edgesByStep_.clear();
+    history_.clear();
+    history_.push_back(std::move(sig));
+    return obs;
+  }
+
+  history_.push_back(std::move(sig));
+  if (history_.size() > kMaxHistory)
+    history_.erase(history_.begin());
+  const std::size_t p = detectPeriod();
+  if (p == 0) return obs;
+  cycle_.assign(history_.end() - static_cast<std::ptrdiff_t>(p),
+                history_.end());
+  if (!compilePlan()) {
+    cycle_.clear();
+    edgesByStep_.clear();
+    return obs;
+  }
+  active_ = true;
+  pos_ = 0;  // the activating launch ran reactively; the next one is step 0
+  history_.clear();
+  obs.activated = true;
+  return obs;
+}
+
+const std::vector<FlowEdge>& DataflowPlanner::edgesFor(std::size_t step) const {
+  PP_ASSERT(active_ && step < edgesByStep_.size());
+  return edgesByStep_[step];
+}
+
+void DataflowPlanner::reset() {
+  history_.clear();
+  cycle_.clear();
+  edgesByStep_.clear();
+  active_ = false;
+  pos_ = 0;
+}
+
+}  // namespace polypart::rt

@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "pset/fm_internal.h"
+#include "rt/dataflow_plan.h"
 #include "rt/transfer_plan.h"
 #include "support/error.h"
 #include "support/pipeline.h"
@@ -30,6 +32,13 @@ using ir::LaunchConfig;
 codegen::EnumTier defaultEnumeratorTier() {
   const char* env = std::getenv("POLYPART_ENUMERATOR_TIER");
   return env ? codegen::enumTierFromString(env) : codegen::EnumTier::Interpret;
+}
+
+bool defaultDataflowPlanning() {
+  const char* env = std::getenv("POLYPART_DATAFLOW_PLANNING");
+  if (env == nullptr) return false;
+  const std::string v(env);
+  return !(v.empty() || v == "0" || v == "off" || v == "false");
 }
 
 namespace {
@@ -61,11 +70,25 @@ void addStatsDiff(RuntimeStats& into, const RuntimeStats& before,
   into.transfersMerged += after.transfersMerged - before.transfersMerged;
   into.broadcastChains += after.broadcastChains - before.broadcastChains;
   into.bytesSavedByDedup += after.bytesSavedByDedup - before.bytesSavedByDedup;
+  into.planActivations += after.planActivations - before.planActivations;
+  into.planDivergences += after.planDivergences - before.planDivergences;
+  into.plannedLaunches += after.plannedLaunches - before.plannedLaunches;
+  into.prefetchCopies += after.prefetchCopies - before.prefetchCopies;
+  into.bytesPrefetched += after.bytesPrefetched - before.bytesPrefetched;
+  into.bytesElided += after.bytesElided - before.bytesElided;
+  into.prefetchHits += after.prefetchHits - before.prefetchHits;
   into.resolutionTasks += after.resolutionTasks - before.resolutionTasks;
   into.resolutionWallSeconds +=
       after.resolutionWallSeconds - before.resolutionWallSeconds;
   into.parallelWallSeconds +=
       after.parallelWallSeconds - before.parallelWallSeconds;
+  into.fmMemoHits += after.fmMemoHits - before.fmMemoHits;
+  into.fmMemoMisses += after.fmMemoMisses - before.fmMemoMisses;
+  into.fmMemoEvictions += after.fmMemoEvictions - before.fmMemoEvictions;
+  into.specProgramHits += after.specProgramHits - before.specProgramHits;
+  into.specProgramMisses += after.specProgramMisses - before.specProgramMisses;
+  into.specProgramEvictions +=
+      after.specProgramEvictions - before.specProgramEvictions;
 }
 
 }  // namespace
@@ -126,8 +149,24 @@ struct Runtime::Pipeline {
 Runtime::Runtime(RuntimeConfig config, analysis::ApplicationModel model,
                  const ir::Module& kernels)
     : config_(config), model_(std::move(model)) {
+  // FM-memoization telemetry baseline: taken before any enumerator is built
+  // so this runtime's construction-time projections count toward its sample.
+  const pset::FmMemoCounters fmBase = pset::fmMemoCounters();
+  fmBaseHits_ = fmBase.hits;
+  fmBaseMisses_ = fmBase.misses;
+  fmBaseEvictions_ = fmBase.evictions;
   config_.machine.numDevices = config_.numGpus;
   machine_ = std::make_unique<sim::Machine>(config_.machine, config_.mode);
+  if (config_.dataflowPlanning && config_.enableDependencyResolution &&
+      config_.enableTransfers) {
+    planners_.resize(static_cast<std::size_t>(std::max(1, config_.numTenants)));
+    for (auto& p : planners_)
+      p = std::make_unique<DataflowPlanner>(
+          config_.numGpus, kElemBytes,
+          [this](const KernelModel& m, const Dim3& g, int gpu) {
+            return partitionFor(m, g, gpu);
+          });
+  }
   if (config_.resolutionThreads > 0)
     pool_ = std::make_unique<support::ThreadPool>(config_.resolutionThreads);
   machine_->setTracer(config_.tracer);
@@ -286,6 +325,14 @@ void Runtime::free(VirtualBuffer* buf) {
   drain();  // in-flight launches may still reference the buffer
   for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
     if (it->get() == buf) {
+      // Recorded launch signatures hold buffer identities; dropping the
+      // buffer invalidates them (a reused address must not match a stale
+      // plan).  Only the owning tenant's planner can reference it — other
+      // tenants' plans stay live, so their stats slices are unaffected by
+      // this tenant's frees.  Read the tenant only now that the pointer is
+      // known live (the double-free diagnosis below must not touch *buf).
+      if (!planners_.empty())
+        planners_[static_cast<std::size_t>(buf->tenant())]->reset();
       for (const sim::DevBuffer& b : buf->instances_) machine_->free(b);
       freedBuffers_.push_back(buf);
       buffers_.erase(it);
@@ -434,6 +481,101 @@ void Runtime::issueTransferPlan(TransferPlan& plan) {
   stats_.bytesSavedByDedup += ps.bytesSaved;
 }
 
+void Runtime::issuePrefetches(const PendingLaunch& pl, std::size_t step,
+                              std::vector<double> kernelDone) {
+  const std::vector<FlowEdge>& edges =
+      planners_[static_cast<std::size_t>(pl.tenant)]->edgesFor(step);
+  if (edges.empty()) return;
+  ResolutionTimer timer(*this);
+  trace::Span span(config_.tracer, "runtime", "prefetch-flows", {},
+                   {{"edges", static_cast<i64>(edges.size())}});
+
+  TransferPlan::Options opts;
+  opts.mergeRanges = true;
+  opts.chainBroadcasts = false;  // prefetch replicas are sharer-tracked, but
+                                 // flow edges are already per-destination
+  TransferPlan plan(opts);
+  plan.markPrefetch();
+  plan.setSrcFloors(std::move(kernelDone));
+  if (activePending_ != nullptr && activePending_->epoch >= 0)
+    plan.setIssueTag(activePending_->epoch, activePending_->tenant);
+
+  // Clip every planned range against the live tracker: only sub-segments
+  // whose current owner is the predicted source — and that the destination
+  // does not already share — are copied.  Any divergence from the plan
+  // (host writes, mispredicted owners) silently degrades to the reactive
+  // path, which is what keeps results byte-identical.
+  struct Replica {
+    VirtualBuffer* buf;
+    i64 begin, end;
+    int dst;
+  };
+  std::vector<Replica> replicas;
+  for (const FlowEdge& edge : edges) {
+    VirtualBuffer* vb = pl.args[edge.argIndex].buffer;
+    if (vb == nullptr) continue;
+    stats_.bytesElided += edge.elidedBytes;
+    for (const PlannedTransfer& t : edge.transfers) {
+      if (t.src < 0 || t.src >= config_.numGpus) continue;
+      if (t.dst < 0 || t.dst >= config_.numGpus || t.dst >= 64) continue;
+      for (const auto& [rb, re] : t.byteRanges) {
+        vb->tracker_.querySharers(
+            rb, re, [&](i64 b, i64 e, Owner owner, u64 sharers) {
+              ++stats_.trackerSegmentsVisited;
+              if (owner != t.src) return;  // plan/reality divergence: skip
+              if ((sharers & (u64{1} << t.dst)) != 0) return;  // already there
+              plan.add(vb, t.dst, t.src, b, e);
+              replicas.push_back(Replica{vb, b, e, t.dst});
+            });
+      }
+    }
+  }
+
+  i64 bytesQueued = 0;
+  for (const Replica& r : replicas) bytesQueued += r.end - r.begin;
+  if (!plan.empty()) {
+    const TransferPlanStats& ps = plan.issue(*machine_, config_.tracer);
+    stats_.prefetchCopies += ps.issued;
+    stats_.bytesPrefetched += bytesQueued - ps.bytesSaved;
+    trace::counter(config_.tracer, "plan", "bytes-prefetched",
+                   stats_.bytesPrefetched);
+    // Record the replicas after issuing (addSharer mutates the tracker the
+    // query above walked); the consumer's reactive resolution will skip
+    // exactly these segments via the sharer bit.
+    for (const Replica& r : replicas)
+      r.buf->tracker_.addSharer(r.begin, r.end, r.dst);
+  }
+
+  // Modeled host cost of assembling/issuing the prefetch copies — the same
+  // per-row transfer-issue coefficient the reactive path is charged.
+  double cost = config_.transferIssueCostPerRow *
+                static_cast<double>(replicas.size());
+  double simStart = machine_->now();
+  machine_->advanceHost(cost);
+  trace::simSpan(config_.tracer, "sim.pattern", "prefetch-issue",
+                 sim::kSimHostTrack, simStart, cost,
+                 {{"copies", static_cast<i64>(replicas.size())}});
+}
+
+void Runtime::sampleCacheCounters() {
+  const pset::FmMemoCounters fm = pset::fmMemoCounters();
+  i64 specHits = 0, specMisses = 0, specEvictions = 0;
+  for (const auto& [name, ke] : kernels_)
+    for (const Enumerator& e : ke.enumerators) {
+      const codegen::Enumerator::SpecCacheCounters c = e.specCacheCounters();
+      specHits += c.hits;
+      specMisses += c.misses;
+      specEvictions += c.evictions;
+    }
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  stats_.fmMemoHits = fm.hits - fmBaseHits_;
+  stats_.fmMemoMisses = fm.misses - fmBaseMisses_;
+  stats_.fmMemoEvictions = fm.evictions - fmBaseEvictions_;
+  stats_.specProgramHits = specHits;
+  stats_.specProgramMisses = specMisses;
+  stats_.specProgramEvictions = specEvictions;
+}
+
 void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
                                std::span<const LaunchArg> args,
                                std::span<const i64> scalars) {
@@ -463,9 +605,15 @@ void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
             [&](i64 b, i64 en, Owner owner, u64 sharers) {
               ++segments;
               if (owner == gpu || owner < 0) return;  // up to date / undefined
-              if (config_.trackSharedCopies && gpu < 64 &&
-                  (sharers & (u64{1} << gpu)) != 0) {
-                ++stats_.sharedCopyHits;  // replica already valid here
+              // Sharer bits are consulted when either feature maintains
+              // them: trackSharedCopies records reactive replicas, the
+              // dataflow planner records prefetched ones.
+              if ((config_.trackSharedCopies || config_.dataflowPlanning) &&
+                  gpu < 64 && (sharers & (u64{1} << gpu)) != 0) {
+                if (config_.trackSharedCopies)
+                  ++stats_.sharedCopyHits;  // replica already valid here
+                else
+                  ++stats_.prefetchHits;  // prefetch landed: skip the copy
                 return;
               }
               if (config_.enableTransfers) {
@@ -809,8 +957,8 @@ void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
             [&](i64 b, i64 en, Owner owner, u64 sharers) {
               ++r.segments;
               if (owner == gpu || owner < 0) return;  // up to date / undefined
-              if (config_.trackSharedCopies && gpu < 64 &&
-                  (sharers & (u64{1} << gpu)) != 0) {
+              if ((config_.trackSharedCopies || config_.dataflowPlanning) &&
+                  gpu < 64 && (sharers & (u64{1} << gpu)) != 0) {
                 ++r.sharedHits;  // replica already valid here
                 return;
               }
@@ -857,7 +1005,13 @@ void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
             config_.tracer, "transfer", "peer-copy",
             {{"src", t.owner}, {"dst", a.gpu}, {"bytes", t.end - t.begin}});
       }
-      stats_.sharedCopyHits += r.sharedHits;
+      // Same attribution rule as the serial path: with shared-copy tracking
+      // on, sharer hits are its; otherwise only prefetched replicas can set
+      // sharer bits, so they are the planner's.
+      if (config_.trackSharedCopies)
+        stats_.sharedCopyHits += r.sharedHits;
+      else
+        stats_.prefetchHits += r.sharedHits;
       const codegen::EnumInfo& info = (*a.plan)[ei].info;
       stats_.rangesResolved += info.ranges;
       stats_.logicalRowsResolved += info.logicalRows;
@@ -1035,17 +1189,53 @@ void Runtime::executeLaunch(PendingLaunch& pl) {
   trace::LaunchScope launchScope(config_.tracer, kernelName);
   ++stats_.launches;
 
+  // (1b) Dataflow planner: record/match this launch against the detected
+  // cycle.  A planned launch keeps the reactive resolution (the tracker
+  // stays the source of truth) but drops the global barriers in favour of
+  // per-device engine ordering, and issues its outgoing flow edges eagerly
+  // after phase (4).
+  DataflowPlanner::Observation obs;
+  bool planned = false;
+  DataflowPlanner* planner =
+      planners_.empty() ? nullptr
+                        : planners_[static_cast<std::size_t>(pl.tenant)].get();
+  if (planner != nullptr) {
+    std::vector<VirtualBuffer*> argBufs;
+    argBufs.reserve(args.size());
+    for (const LaunchArg& a : args) argBufs.push_back(a.buffer);
+    obs = planner->observe(model, &ke, cfg, argBufs, scalars);
+    if (obs.activated) {
+      ++stats_.planActivations;
+      trace::instant(config_.tracer, "plan", "dataflow-activated",
+                     {{"period", static_cast<i64>(planner->period())}});
+    }
+    if (obs.diverged) {
+      ++stats_.planDivergences;
+      trace::instant(config_.tracer, "plan", "dataflow-diverged");
+    }
+    if (obs.planned) {
+      planned = true;
+      ++stats_.plannedLaunches;
+      trace::instant(config_.tracer, "plan", "dataflow-planned",
+                     {{"step", static_cast<i64>(obs.step)}});
+    }
+  }
+
   // (2) Synchronize all buffers the kernel reads (Fig. 4, first loop).  The
   // producing kernels must have completed before their output can be copied,
   // so the host first drains outstanding work, then issues the transfers,
-  // then barriers again (all_devs_synchronize in Fig. 4).
+  // then barriers again (all_devs_synchronize in Fig. 4).  A planned launch
+  // skips both barriers: device-ordering mode makes each copy wait for the
+  // endpoint devices' own engines instead, so transfers overlap *other*
+  // devices' still-running kernels.
   if (config_.enableDependencyResolution) {
-    machine_->synchronizeAll();
+    machine_->setDeviceOrdering(planned);
+    if (!planned) machine_->synchronizeAll();
     if (pool_)
       synchronizeReadsParallel(ke, cfg, args, scalars);
     else
       synchronizeReads(ke, cfg, args, scalars);
-    machine_->synchronizeAll();
+    if (!planned) machine_->synchronizeAll();
   }
 
   // Arrays whose write patterns the static model could not capture are
@@ -1070,6 +1260,10 @@ void Runtime::executeLaunch(PendingLaunch& pl) {
   std::optional<trace::Span> launchSpan(std::in_place, config_.tracer,
                                         "runtime", "launch-kernels:",
                                         kernelName);
+  // Modeled completion per device of this launch's kernels; the planner
+  // passes them as the earliest-start floors of eagerly issued flow copies.
+  std::vector<double> kernelDone;
+  if (planned) kernelDone.assign(static_cast<std::size_t>(config_.numGpus), 0.0);
   for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
     GridPartition gp = partitionFor(model, grid, gpu);
     if (gp.blockCount() == 0) continue;
@@ -1091,7 +1285,8 @@ void Runtime::executeLaunch(PendingLaunch& pl) {
       kargs.push_back(sim::KernelArg::ofInt(v));
 
     if (instrumentedArgs.empty()) {
-      machine_->launchKernel(gpu, *ke.partitioned, partCfg, kargs);
+      double done = machine_->launchKernel(gpu, *ke.partitioned, partCfg, kargs);
+      if (planned) kernelDone[static_cast<std::size_t>(gpu)] = done;
       continue;
     }
 
@@ -1164,6 +1359,14 @@ void Runtime::executeLaunch(PendingLaunch& pl) {
     else
       updateTrackers(ke, cfg, args, scalars);
   }
+
+  // (5) Eager prefetch: issue this cycle position's compiled flow edges now
+  // that the trackers reflect the launch's writes.  Floors keep the modeled
+  // copies behind the producing kernels; device ordering (still on) keeps
+  // them behind the destination's compute.
+  if (planned) issuePrefetches(pl, obs.step, std::move(kernelDone));
+  machine_->setDeviceOrdering(false);
+  sampleCacheCounters();
 }
 
 void Runtime::commitLaunch(PendingLaunch& pl) {
@@ -1172,7 +1375,12 @@ void Runtime::commitLaunch(PendingLaunch& pl) {
   // the guard clears it even when executeLaunch throws.
   struct ActiveGuard {
     Runtime& rt;
-    ~ActiveGuard() { rt.activePending_ = nullptr; }
+    ~ActiveGuard() {
+      rt.activePending_ = nullptr;
+      // Device-ordering mode is scoped to one planned launch; make sure a
+      // throwing executeLaunch cannot leak it into the next commit.
+      rt.machine_->setDeviceOrdering(false);
+    }
   } guard{*this};
   activePending_ = &pl;
   machine_->setLaunchTag(pl.tenant);

@@ -64,6 +64,7 @@ class Tracer;
 
 namespace polypart::rt {
 
+class DataflowPlanner;
 class TransferPlan;
 
 /// Host-to-device distribution pattern (Section 8.2: "data is distributed
@@ -77,6 +78,12 @@ enum class H2DDistribution { Linear, RoundRobinPages };
 /// RuntimeConfig default so suites can be re-run under another tier without
 /// overriding configs that set the knob explicitly.
 codegen::EnumTier defaultEnumeratorTier();
+
+/// Process-default for RuntimeConfig::dataflowPlanning: true when the
+/// POLYPART_DATAFLOW_PLANNING environment variable is set to a value other
+/// than "0"/"off"/"false", else false.  Mirrors POLYPART_ENUMERATOR_TIER so
+/// suites can be re-run with planning forced on without touching configs.
+bool defaultDataflowPlanning();
 
 struct RuntimeConfig {
   int numGpus = 1;
@@ -119,6 +126,24 @@ struct RuntimeConfig {
   /// with scheduling on or off, at every resolutionThreads value;
   /// bytesPeerToPeer can only shrink (tests/transfer_plan_test.cpp).
   bool transferScheduling = false;
+  /// Cross-launch dataflow planning (extension; see DESIGN.md "Cross-launch
+  /// dataflow planning").  Off (default): the paper's reactive behaviour.
+  /// On: the runtime records launch signatures, detects the steady-state
+  /// launch cycle of iterative applications, composes producer write maps
+  /// with downstream read maps into exact inter-launch flow sets (with
+  /// dead-transfer elision), and eagerly prefetches the live bytes right
+  /// after the producing launch — floored at the producer kernels' modeled
+  /// completion — instead of copying them reactively at the consumer.
+  /// Planned launches drop the global barriers around read synchronization
+  /// in favour of per-device engine ordering (sim::Machine device-ordering
+  /// mode), which is where the modeled-time win comes from.  The segment
+  /// tracker stays the source of truth — planned copies are clipped against
+  /// it and recorded as shared replicas, and any divergence falls back to
+  /// the reactive path — so functional results are byte-identical with
+  /// planning on or off (tests/dataflow_plan_test.cpp).  Defaults to the
+  /// POLYPART_DATAFLOW_PLANNING environment override, else off.  Requires
+  /// dependency resolution and transfers to be enabled to take effect.
+  bool dataflowPlanning = defaultDataflowPlanning();
   /// Page size for the round-robin distribution (bytes).
   i64 h2dPageBytes = 65536;
   /// Launch-plan enumeration cache: memoizes, per kernel, the coalesced
@@ -253,6 +278,14 @@ struct RuntimeStats {
   i64 transfersMerged = 0;    // decisions folded away by same-link merging
   i64 broadcastChains = 0;    // copies re-sourced from a fresh replica
   i64 bytesSavedByDedup = 0;  // storage bytes not re-moved thanks to merging
+  // Dataflow-planner counters (all 0 with dataflowPlanning off).
+  i64 planActivations = 0;  // launch cycles detected and compiled to a plan
+  i64 planDivergences = 0;  // active plans abandoned by an off-cycle launch
+  i64 plannedLaunches = 0;  // launches that matched the active plan
+  i64 prefetchCopies = 0;   // eager copies issued from compiled flow edges
+  i64 bytesPrefetched = 0;  // bytes moved by those copies (post-merge)
+  i64 bytesElided = 0;      // flow bytes proved dead before their next read
+  i64 prefetchHits = 0;     // reactive copies skipped via prefetched replicas
   // Engine meta-counters.  These describe *how* the resolution executed, not
   // what it computed: wall-clock fields are nondeterministic by nature and
   // resolutionTasks is 0 in serial mode, so the determinism guarantee of
@@ -261,6 +294,21 @@ struct RuntimeStats {
   i64 resolutionTasks = 0;           // tasks executed by the parallel engine
   double resolutionWallSeconds = 0;  // real host time spent resolving
   double parallelWallSeconds = 0;    // real time inside parallel phases
+  // Cache-telemetry meta-counters, sampled at the end of every launch.  The
+  // FM-memoization counters are process-wide (pset's projection memo is one
+  // table per process) diffed against a baseline taken at Runtime
+  // construction; the specialized-program counters sum over this runtime's
+  // enumerators.  Both are observational: parallel resolution can race two
+  // misses on one key, so they are monotone telemetry, not byte-deterministic
+  // state — like the fields above, they are excluded from the determinism
+  // guarantee (tests/cache_counters_test.cpp asserts monotonicity and
+  // hit/miss consistency instead).
+  i64 fmMemoHits = 0;
+  i64 fmMemoMisses = 0;
+  i64 fmMemoEvictions = 0;
+  i64 specProgramHits = 0;
+  i64 specProgramMisses = 0;
+  i64 specProgramEvictions = 0;
 
   bool operator==(const RuntimeStats&) const = default;
 };
@@ -458,6 +506,18 @@ class Runtime {
   /// Schedules + issues a collected plan and folds its stats into stats_
   /// (peerCopies counts the post-merge copies actually issued).
   void issueTransferPlan(TransferPlan& plan);
+  /// Dataflow-planning hook: issues the compiled flow edges of cycle
+  /// position `step` right after the producing launch.  Every planned byte
+  /// range is clipped against the live tracker (only segments the predicted
+  /// source still owns, and the destination does not already share, are
+  /// copied), issued with per-source floors at the producing kernels'
+  /// modeled completions, then recorded as shared replicas so the
+  /// consumer's reactive resolution skips them.
+  void issuePrefetches(const PendingLaunch& pl, std::size_t step,
+                       std::vector<double> kernelDone);
+  /// Samples the FM-memoization and specialized-program cache counters into
+  /// the stats meta-fields (end of every launch; engine thread).
+  void sampleCacheCounters();
   void updateTrackers(KernelEntry& ke, const ir::LaunchConfig& cfg,
                       std::span<const LaunchArg> args,
                       std::span<const i64> scalars);
@@ -528,6 +588,19 @@ class Runtime {
   /// free from a free of a pointer this runtime never allocated.
   std::vector<const VirtualBuffer*> freedBuffers_;
   RuntimeStats stats_;
+  /// Cross-launch dataflow planners, one per tenant (empty unless
+  /// dataflowPlanning is on and dependency resolution + transfers are
+  /// enabled).  Buffers are tenant-owned, so cross-tenant flow edges cannot
+  /// exist; per-tenant sequences keep each tenant's cycle detection — and
+  /// therefore its stats slice — independent of how other tenants' launches
+  /// interleave with it.  Touched only on the launch-commit path, which is
+  /// serial by construction.
+  std::vector<std::unique_ptr<DataflowPlanner>> planners_;
+  /// FM-memoization counter baseline at construction: the memo table is
+  /// process-wide, so per-runtime telemetry is the counter delta.
+  i64 fmBaseHits_ = 0;
+  i64 fmBaseMisses_ = 0;
+  i64 fmBaseEvictions_ = 0;
   /// Guards the cross-thread RuntimeStats fields: submit threads accumulate
   /// resolutionWallSeconds while the engine thread owns everything else, and
   /// statsSnapshot() copies the whole struct under this lock.

@@ -214,6 +214,10 @@ void TransferPlan::setIssueTag(i64 epoch, int tenant) {
   issueTenant_ = tenant;
 }
 
+void TransferPlan::setSrcFloors(std::vector<double> srcFloors) {
+  srcFloors_ = std::move(srcFloors);
+}
+
 const TransferPlanStats& TransferPlan::issue(sim::Machine& machine,
                                              trace::Tracer* tracer) {
   schedule();
@@ -240,11 +244,13 @@ const TransferPlanStats& TransferPlan::issue(sim::Machine& machine,
     ++waveCopies;
     double notBefore =
         t.parent >= 0 ? completion[static_cast<std::size_t>(t.parent)] : 0;
+    if (t.src >= 0 && static_cast<std::size_t>(t.src) < srcFloors_.size())
+      notBefore = std::max(notBefore, srcFloors_[static_cast<std::size_t>(t.src)]);
     completion[i] = machine.copyPeer(
         t.buffer->instances_[static_cast<std::size_t>(t.dst)], t.begin,
         t.buffer->instances_[static_cast<std::size_t>(t.src)], t.begin,
         t.end - t.begin, notBefore);
-    trace::instant(tracer, "transfer", "peer-copy",
+    trace::instant(tracer, "transfer", prefetch_ ? "prefetch-copy" : "peer-copy",
                    {{"src", t.src}, {"dst", t.dst}, {"bytes", t.end - t.begin}});
   }
   flushWave();

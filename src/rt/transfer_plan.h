@@ -116,10 +116,25 @@ class TransferPlan {
   /// the pipelined runtime tags, the serial paper path does not.
   void setIssueTag(i64 epoch, int tenant);
 
+  /// Per-source-device earliest-start floors, indexed by device ordinal:
+  /// every copy sourcing from device `d` starts no earlier than
+  /// `srcFloors[d]` (in addition to its chain parent's completion).  The
+  /// dataflow planner passes the producing kernels' modeled completion times
+  /// so an eagerly issued prefetch never reads bytes the model says are
+  /// still being computed.  Devices beyond the span get floor 0.
+  void setSrcFloors(std::vector<double> srcFloors);
+
+  /// Labels this plan's per-copy trace instants "prefetch-copy" instead of
+  /// "peer-copy", putting eagerly planned traffic on its own visual track in
+  /// the trace viewer (the dataflow planner's prefetch track).
+  void markPrefetch() { prefetch_ = true; }
+
  private:
   Options opts_;
   i64 issueEpoch_ = -1;
   int issueTenant_ = 0;
+  bool prefetch_ = false;
+  std::vector<double> srcFloors_;
   std::vector<TransferRecord> records_;
   std::vector<ScheduledTransfer> scheduled_;
   bool scheduled_valid_ = false;

@@ -193,12 +193,17 @@ double Machine::copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff,
   double start = std::max({hostNow_, dDst.copyInReady, notBefore});
   if (spec_.modelPeerLinks)
     start = std::max({start, dSrc.copyOutReady, peerLinkReady_[link]});
+  if (deviceOrdering_)
+    // No global barrier ordered this copy after the kernels that produced
+    // (src) or consumed (dst) the bytes; wait on both compute engines, and
+    // occupy the source's copy-out engine so a later kernel there cannot be
+    // modeled to overwrite memory still streaming out (see setDeviceOrdering).
+    start = std::max({start, dSrc.computeReady, dDst.computeReady,
+                      dSrc.copyOutReady});
   start = reserveFabric(start, mb);
   dDst.copyInReady = start + duration;
-  if (spec_.modelPeerLinks) {
-    dSrc.copyOutReady = start + duration;
-    peerLinkReady_[link] = start + duration;
-  }
+  if (spec_.modelPeerLinks || deviceOrdering_) dSrc.copyOutReady = start + duration;
+  if (spec_.modelPeerLinks) peerLinkReady_[link] = start + duration;
   peerLinkBusy_[link] += duration;
   stats_.transferBusySeconds += duration;
   ++stats_.transfers;
@@ -219,10 +224,10 @@ double Machine::kernelBusySecondsForTag(int tag) const {
   return kernelBusyByTag_[static_cast<std::size_t>(tag)];
 }
 
-void Machine::launchKernel(int device, const ir::Kernel& kernel,
-                           const ir::LaunchConfig& cfg,
-                           std::span<const KernelArg> args,
-                           const LaunchOptions& options) {
+double Machine::launchKernel(int device, const ir::Kernel& kernel,
+                             const ir::LaunchConfig& cfg,
+                             std::span<const KernelArg> args,
+                             const LaunchOptions& options) {
   PP_ASSERT(device >= 0 && device < spec_.numDevices);
   chargeApiCall();
   ++stats_.kernelLaunches;
@@ -256,6 +261,10 @@ void Machine::launchKernel(int device, const ir::Kernel& kernel,
 
   Device& d = devices_[static_cast<std::size_t>(device)];
   double start = std::max(hostNow_, d.computeReady);
+  if (deviceOrdering_)
+    // Without the global barriers, in-flight copies into/out of this device
+    // carry the launch's RAW/WAR edges (see setDeviceOrdering).
+    start = std::max({start, d.copyInReady, d.copyOutReady});
   d.computeReady = start + duration;
   stats_.kernelBusySeconds += duration;
   if (launchTag_ >= static_cast<int>(kernelBusyByTag_.size()))
@@ -270,6 +279,7 @@ void Machine::launchKernel(int device, const ir::Kernel& kernel,
   if (mode_ == ExecutionMode::Functional)
     ir::execute(kernel, cfg, bound,
                 options.observer ? *options.observer : ir::AccessObserver());
+  return start + duration;
 }
 
 }  // namespace polypart::sim

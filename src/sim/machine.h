@@ -130,10 +130,27 @@ class Machine {
   // -- kernels ----------------------------------------------------------------
   /// Launches `kernel` asynchronously on `device`.  Buffer args must live on
   /// that device.  Timing uses the static cost model; Functional mode also
-  /// interprets the kernel against device storage.
-  void launchKernel(int device, const ir::Kernel& kernel,
-                    const ir::LaunchConfig& cfg, std::span<const KernelArg> args,
-                    const LaunchOptions& options = {});
+  /// interprets the kernel against device storage.  Returns the modeled
+  /// completion time of the kernel (the dataflow planner passes it as the
+  /// `notBefore` floor of eagerly issued downstream copies).
+  double launchKernel(int device, const ir::Kernel& kernel,
+                      const ir::LaunchConfig& cfg, std::span<const KernelArg> args,
+                      const LaunchOptions& options = {});
+
+  /// Device-ordering mode: the relaxed dependency discipline of planned
+  /// launches.  The reactive runtime brackets every launch with
+  /// synchronizeAll(), so engine readiness never has to encode cross-engine
+  /// hazards.  A planned launch skips those global barriers; instead, while
+  /// this mode is on, (a) kernels additionally wait for their own device's
+  /// copy engines (transfers into the device land before compute reads
+  /// them — RAW — and transfers out drain before compute overwrites the
+  /// source — WAR), and (b) peer copies additionally wait for both endpoint
+  /// devices' compute (the producing kernel finished writing the bytes) and
+  /// occupy the source's copy-out engine.  Per-device ordering replaces the
+  /// global barrier, which is exactly what lets transfers overlap *other*
+  /// devices' kernels.  Functional results are unaffected (timing only).
+  void setDeviceOrdering(bool on) { deviceOrdering_ = on; }
+  bool deviceOrdering() const { return deviceOrdering_; }
 
   const MachineStats& stats() const { return stats_; }
   void resetStats() {
@@ -187,6 +204,7 @@ class Machine {
   std::vector<double> peerLinkBusy_;
   std::vector<Device> devices_;
   MachineStats stats_;
+  bool deviceOrdering_ = false;
   int launchTag_ = 0;
   /// Kernel busy seconds per launch tag, indexed by tag (grown on demand).
   std::vector<double> kernelBusyByTag_;

@@ -40,6 +40,8 @@ RuntimeStats canonical(RuntimeStats s) {
   s.resolutionTasks = 0;
   s.resolutionWallSeconds = 0;
   s.parallelWallSeconds = 0;
+  s.fmMemoHits = s.fmMemoMisses = s.fmMemoEvictions = 0;
+  s.specProgramHits = s.specProgramMisses = s.specProgramEvictions = 0;
   return s;
 }
 

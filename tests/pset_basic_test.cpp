@@ -211,6 +211,80 @@ TEST(Set, UnionAndEmptiness) {
   EXPECT_EQ(w.parts().size(), 1u);
 }
 
+TEST(Set, SubtractSplitsInterval) {
+  // { [i] : 0 <= i < 10 } \ { [i] : 3 <= i < 6 } keeps 0..2 and 6..9.
+  Space s = Space::set({}, {"i"});
+  BasicSet a(s), b(s);
+  a.addBounds(DimId::in(0), LinExpr(s), LinExpr::constant(s, 10));
+  b.addBounds(DimId::in(0), LinExpr::constant(s, 3), LinExpr::constant(s, 6));
+  Set sa(s), sb(s);
+  sa.addPart(a);
+  sb.addPart(b);
+  Set d = sa.subtract(sb);
+  EXPECT_TRUE(d.exact());
+  for (i64 i = -2; i < 12; ++i) {
+    i64 pt[] = {i};
+    const bool want = i >= 0 && i < 10 && !(i >= 3 && i < 6);
+    EXPECT_EQ(d.containsPoint({}, pt), want) << "i=" << i;
+  }
+}
+
+TEST(Set, SubtractDisjointAndCovering) {
+  Space s = Space::set({}, {"i"});
+  BasicSet a(s);
+  a.addBounds(DimId::in(0), LinExpr(s), LinExpr::constant(s, 4));
+  Set sa(s);
+  sa.addPart(a);
+  // Disjoint subtrahend: membership unchanged.
+  BasicSet far(s);
+  far.addBounds(DimId::in(0), LinExpr::constant(s, 100),
+                LinExpr::constant(s, 200));
+  Set sFar(s);
+  sFar.addPart(far);
+  Set d1 = sa.subtract(sFar);
+  for (i64 i = 0; i < 4; ++i) {
+    i64 pt[] = {i};
+    EXPECT_TRUE(d1.containsPoint({}, pt)) << i;
+  }
+  // Covering subtrahend: definitely empty.
+  BasicSet cover(s);
+  cover.addBounds(DimId::in(0), LinExpr::constant(s, -1),
+                  LinExpr::constant(s, 5));
+  Set sCover(s);
+  sCover.addPart(cover);
+  EXPECT_EQ(sa.subtract(sCover).emptiness(), Tri::Yes);
+  // Subtracting the empty set is the identity.
+  Set d2 = sa.subtract(Set::empty(s));
+  i64 p0[] = {0}, p4[] = {4};
+  EXPECT_TRUE(d2.containsPoint({}, p0));
+  EXPECT_FALSE(d2.containsPoint({}, p4));
+}
+
+TEST(Map, RangeUnderBoxOfStencilMap) {
+  // { [i] -> [a] : i-1 <= a <= i+1 and 0 <= i < N } restricted to the box
+  // i in [4, 8) with N = 100 touches exactly a in [3, 8].
+  Space s = Space::map({"N"}, {"i"}, {"a"});
+  Map m(s);
+  BasicSet bs(s);
+  LinExpr i = LinExpr::dim(s, DimId::in(0));
+  LinExpr a = LinExpr::dim(s, DimId::out(0));
+  bs.addGe(a - i + LinExpr::constant(s, 1));   // a >= i - 1
+  bs.addGe(i - a + LinExpr::constant(s, 1));   // a <= i + 1
+  bs.addBounds(DimId::in(0), LinExpr(s), LinExpr::dim(s, DimId::param(0)));
+  m.addPart(bs);
+  i64 params[] = {100};
+  i64 lo[] = {4}, hi[] = {8};
+  Set fp = m.rangeUnderBox(params, lo, hi);
+  EXPECT_TRUE(fp.exact());
+  for (i64 v = 0; v < 12; ++v) {
+    i64 pt[] = {v};
+    EXPECT_EQ(fp.containsPoint({}, pt), v >= 3 && v <= 8) << "a=" << v;
+  }
+  // An empty box has an empty footprint.
+  i64 eLo[] = {5}, eHi[] = {5};
+  EXPECT_NE(m.rangeUnderBox(params, eLo, eHi).emptiness(), Tri::No);
+}
+
 TEST(Map, RangeOfShiftMap) {
   // { [i] -> [a] : a == i + 3 and 0 <= i < 7 } has range { [a] : 3 <= a < 10 }.
   Space s = Space::map({}, {"i"}, {"a"});

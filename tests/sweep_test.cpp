@@ -188,6 +188,8 @@ TEST(EnumeratorTierSweep, ByteIdenticalAcrossTierCacheThreadsDepth) {
     s.resolutionTasks = 0;
     s.resolutionWallSeconds = 0;
     s.parallelWallSeconds = 0;
+    s.fmMemoHits = s.fmMemoMisses = s.fmMemoEvictions = 0;
+    s.specProgramHits = s.specProgramMisses = s.specProgramEvictions = 0;
     *statsOut = s;
     return got;
   };
@@ -211,6 +213,106 @@ TEST(EnumeratorTierSweep, ByteIdenticalAcrossTierCacheThreadsDepth) {
           EXPECT_EQ(s, refStats)
               << "tier " << codegen::enumTierName(tier)
               << " perturbs deterministic runtime statistics";
+        }
+      }
+    }
+  }
+}
+
+/// Dataflow-planning axis (see DESIGN.md "Cross-launch dataflow planning"):
+/// the hotspot ping-pong is a period-2 launch cycle, so with enough
+/// iterations the planner activates and runs planned launches.  Functional
+/// results must match the reactive reference bit-for-bit for every
+/// combination of planning x tier x cache x threads x depth, and the
+/// deterministic stats must be engine-invariant within each planning value
+/// (planner counters legitimately differ between planning on and off, like
+/// transferScheduling's).
+TEST(DataflowPlanningSweep, ByteIdenticalAcrossPlanningTierCacheThreadsDepth) {
+  const i64 n = 37;
+  const int iters = 8;
+  Rng rng(93);
+  std::vector<double> init(static_cast<std::size_t>(n * n));
+  std::vector<double> power(static_cast<std::size_t>(n * n));
+  for (auto& v : init) v = rng.uniform() * 40;
+  for (auto& v : power) v = rng.uniform();
+  std::vector<double> expect = init, scratch(init.size());
+  for (int it = 0; it < iters; ++it) {
+    apps::refHotspotStep(n, 0.175, 0.05, expect, power, scratch);
+    std::swap(expect, scratch);
+  }
+
+  auto run = [&](bool planning, codegen::EnumTier tier, bool cache,
+                 int threads, int depth, RuntimeStats* statsOut) {
+    RuntimeConfig cfg;
+    cfg.numGpus = 4;
+    cfg.mode = sim::ExecutionMode::Functional;
+    cfg.dataflowPlanning = planning;
+    cfg.enumeratorTier = tier;
+    cfg.enableEnumerationCache = cache;
+    cfg.resolutionThreads = threads;
+    cfg.pipelineDepth = depth;
+    Runtime rt(cfg, sharedModel(), sharedModule());
+    VirtualBuffer* t0 = rt.malloc(n * n * 8);
+    VirtualBuffer* t1 = rt.malloc(n * n * 8);
+    VirtualBuffer* pw = rt.malloc(n * n * 8);
+    rt.memcpy(t0, init.data(), n * n * 8, MemcpyKind::HostToDevice);
+    rt.memcpy(pw, power.data(), n * n * 8, MemcpyKind::HostToDevice);
+    VirtualBuffer* src = t0;
+    VirtualBuffer* dst = t1;
+    for (int it = 0; it < iters; ++it) {
+      LaunchArg args[] = {LaunchArg::ofInt(n), LaunchArg::ofFloat(0.175),
+                          LaunchArg::ofFloat(0.05), LaunchArg::ofBuffer(src),
+                          LaunchArg::ofBuffer(pw), LaunchArg::ofBuffer(dst)};
+      rt.launch("hotspot", {(n + 7) / 8, (n + 7) / 8, 1}, {8, 8, 1}, args);
+      std::swap(src, dst);
+    }
+    std::vector<double> got(static_cast<std::size_t>(n * n));
+    rt.memcpy(got.data(), src, n * n * 8, MemcpyKind::DeviceToHost);
+    RuntimeStats s = rt.stats();
+    s.resolutionTasks = 0;
+    s.resolutionWallSeconds = 0;
+    s.parallelWallSeconds = 0;
+    s.fmMemoHits = s.fmMemoMisses = s.fmMemoEvictions = 0;
+    s.specProgramHits = s.specProgramMisses = s.specProgramEvictions = 0;
+    *statsOut = s;
+    return got;
+  };
+
+  // Stats are compared within fixed (planning, cache): the plan-cache
+  // counters differ by design between cache on and off, just as the planner
+  // counters differ between planning on and off.  Bytes are compared against
+  // the one CPU reference everywhere.
+  for (bool planning : {false, true}) {
+    for (bool cache : {false, true}) {
+      RuntimeStats refStats;
+      std::vector<double> ref = run(planning, codegen::EnumTier::Interpret,
+                                    cache, /*threads=*/0, /*depth=*/0,
+                                    &refStats);
+      ASSERT_EQ(ref, expect) << "planning=" << planning << " cache=" << cache
+                             << " diverges from the CPU reference";
+      if (planning) {
+        EXPECT_GE(refStats.planActivations, 1);
+        EXPECT_GT(refStats.plannedLaunches, 0);
+      } else {
+        EXPECT_EQ(refStats.planActivations, 0);
+        EXPECT_EQ(refStats.plannedLaunches, 0);
+      }
+      for (codegen::EnumTier tier :
+           {codegen::EnumTier::Interpret, codegen::EnumTier::Bytecode,
+            codegen::EnumTier::Specialized}) {
+        for (int threads : {0, 3}) {
+          for (int depth : {0, 2}) {
+            SCOPED_TRACE("planning=" + std::to_string(planning) + " tier=" +
+                         codegen::enumTierName(tier) + " cache=" +
+                         std::to_string(cache) + " threads=" +
+                         std::to_string(threads) + " depth=" +
+                         std::to_string(depth));
+            RuntimeStats s;
+            std::vector<double> got = run(planning, tier, cache, threads,
+                                          depth, &s);
+            EXPECT_EQ(got, ref);
+            EXPECT_EQ(s, refStats);
+          }
         }
       }
     }

@@ -268,6 +268,11 @@ TEST(TraceSmoke, TracingOffAndOnProduceIdenticalStats) {
     rt::RuntimeStats a = on.stats, b = off.stats;
     a.resolutionWallSeconds = b.resolutionWallSeconds = 0;
     a.parallelWallSeconds = b.parallelWallSeconds = 0;
+    a.fmMemoHits = b.fmMemoHits = a.fmMemoMisses = b.fmMemoMisses = 0;
+    a.fmMemoEvictions = b.fmMemoEvictions = 0;
+    a.specProgramHits = b.specProgramHits = 0;
+    a.specProgramMisses = b.specProgramMisses = 0;
+    a.specProgramEvictions = b.specProgramEvictions = 0;
     EXPECT_EQ(a, b) << threads;
   }
 }

@@ -298,6 +298,10 @@ Snapshot runWorkload(RuntimeConfig rc, const analysis::ApplicationModel& model,
   snap.rstats.resolutionTasks = 0;
   snap.rstats.resolutionWallSeconds = 0;
   snap.rstats.parallelWallSeconds = 0;
+  snap.rstats.fmMemoHits = snap.rstats.fmMemoMisses = 0;
+  snap.rstats.fmMemoEvictions = 0;
+  snap.rstats.specProgramHits = snap.rstats.specProgramMisses = 0;
+  snap.rstats.specProgramEvictions = 0;
   snap.mstats = rt.machineStats();
   snap.elapsed = rt.elapsedSeconds();
   return snap;

@@ -1,0 +1,229 @@
+// Extension bench: elastic runtime repartitioning (rt::Runtime::repartition;
+// DESIGN.md "Elastic repartitioning").
+//
+// Two questions, two tables:
+//
+// Table A — transition cost.  An iterative scale loop reaches steady state
+// under an even split, then repartitions to a skewed split.  The runtime
+// moves only the per-device footprint *difference* (new minus old ownership,
+// as a polyhedral set subtraction), so the transition bytes are compared
+// against the full-redistribution upper bound (the whole write footprint,
+// which a naive "tear down and re-scatter" would ship).
+//
+// Table B — rebalance win.  The same loop on a machine whose device 0 is
+// 4x slower than its peers (sim::MachineSpec::perDevice).  The even column
+// keeps the seed's uniform split, so every step waits for the slow device;
+// the balanced column asks loadBalancedPartitioning() for weights inverse
+// to the observed per-device busy time after a warmup, repartitions once,
+// and runs the rest of the loop rebalanced.  The delta is the modeled
+// steady-state time reduction.
+//
+// Byte-identity of repartition transitions across every engine knob is
+// pinned by tests/repartition_test.cpp — this bench measures bytes and time.
+
+#include "analysis/analyze.h"
+#include "bench/bench_util.h"
+#include "ir/builder.h"
+
+namespace {
+
+using namespace polypart;
+using ir::fconst;
+using ir::lt;
+
+// Large enough that per-device memory time dominates the host's per-launch
+// API overhead — otherwise the host is the bottleneck and no split, however
+// balanced, changes the modeled time.
+constexpr i64 kElems = i64{1} << 23;
+constexpr i64 kBlock = 256;
+
+ir::Module buildModule() {
+  ir::Module mod;
+  ir::KernelBuilder b("scale");
+  auto n = b.scalar("n", ir::Type::I64);
+  auto in = b.array("in", ir::Type::F64, {n});
+  auto out = b.array("out", ir::Type::F64, {n});
+  auto x = b.let("x", b.globalId(ir::Axis::X));
+  b.iff(lt(x, n), [&] {
+    b.store(out, x, b.load(in, x) * fconst(0.5) + fconst(1.0));
+  });
+  mod.addKernel(b.build());
+  return mod;
+}
+
+rt::RuntimeConfig baseConfig(int gpus) {
+  rt::RuntimeConfig cfg;
+  cfg.numGpus = gpus;
+  cfg.mode = sim::ExecutionMode::TimingOnly;
+  cfg.allowRepartitioning = true;
+  cfg.machine = sim::MachineSpec::k80Node(gpus);
+  cfg.tracer = polypart::benchutil::envTracer();
+  return cfg;
+}
+
+struct Loop {
+  rt::Runtime& rt;
+  rt::VirtualBuffer* va;
+  rt::VirtualBuffer* vb;
+  rt::VirtualBuffer* src;
+  rt::VirtualBuffer* dst;
+
+  explicit Loop(rt::Runtime& r) : rt(r) {
+    const i64 bytes = kElems * 8;
+    va = rt.malloc(bytes);
+    vb = rt.malloc(bytes);
+    src = va;
+    dst = vb;
+    rt.memcpy(va, nullptr, bytes, rt::MemcpyKind::HostToDevice);
+  }
+
+  void steps(int iters) {
+    const ir::Dim3 grid{kElems / kBlock, 1, 1}, block{kBlock, 1, 1};
+    for (int it = 0; it < iters; ++it) {
+      rt::LaunchArg args[] = {rt::LaunchArg::ofInt(kElems),
+                              rt::LaunchArg::ofBuffer(src),
+                              rt::LaunchArg::ofBuffer(dst)};
+      rt.launch("scale", grid, block, args);
+      std::swap(src, dst);
+    }
+  }
+};
+
+/// Skewed weights: first and last device get 3 shares, the middle 1 each.
+rt::Partitioning skewed(int gpus) {
+  rt::Partitioning p = rt::Partitioning::even(gpus);
+  p.weights.front() = 3;
+  p.weights.back() = 3;
+  return p;
+}
+
+void tableTransitionCost(const analysis::ApplicationModel& model,
+                         const ir::Module& mod, int iters) {
+  std::printf("\nTable A: transition bytes vs full redistribution\n");
+  std::printf("  %4s  %12s  %12s  %8s  %10s  %9s\n", "GPUs", "moved [MB]",
+              "footprnt[MB]", "copies", "moved/full", "time [ms]");
+  for (int gpus : {8, 16, 32}) {
+    rt::Runtime rt(baseConfig(gpus), model, mod);
+    Loop loop(rt);
+    loop.steps(iters);
+    rt.deviceSynchronize();
+    const double before = rt.elapsedSeconds();
+    rt::RepartitionResult r = rt.repartitionAll(skewed(gpus));
+    rt.deviceSynchronize();
+    const double seconds = rt.elapsedSeconds() - before;
+    const double ratio =
+        r.bytesFootprint > 0
+            ? static_cast<double>(r.bytesMoved) /
+                  static_cast<double>(r.bytesFootprint)
+            : 0.0;
+    std::printf("  %4d  %12.2f  %12.2f  %8lld  %9.1f%%  %9.3f\n", gpus,
+                static_cast<double>(r.bytesMoved) / 1e6,
+                static_cast<double>(r.bytesFootprint) / 1e6,
+                static_cast<long long>(r.copies), 100.0 * ratio,
+                seconds * 1e3);
+    std::fflush(stdout);
+
+    json::Value& row = polypart::benchutil::benchRow();
+    row["table"] = "transition";
+    row["gpus"] = gpus;
+    row["bytesMoved"] = r.bytesMoved;
+    row["bytesFootprint"] = r.bytesFootprint;
+    row["copies"] = r.copies;
+    row["movedShare"] = ratio;
+    row["simSeconds"] = seconds;
+  }
+}
+
+void tableRebalanceWin(const analysis::ApplicationModel& model,
+                       const ir::Module& mod, int iters) {
+  std::printf("\nTable B: load rebalancing, device 0 is 4x slower\n");
+  std::printf("  %4s  %10s  %12s  %12s  %6s\n", "GPUs", "mode", "warm [s]",
+              "weights[0]", "d%");
+  for (int gpus : {4, 8}) {
+    auto makeRuntime = [&] {
+      rt::RuntimeConfig cfg = baseConfig(gpus);
+      cfg.machine.perDevice.assign(static_cast<std::size_t>(gpus),
+                                   cfg.machine.device);
+      // The scale kernel is memory-bound, so the slow device is slow where
+      // it matters: a quarter of its siblings' memory bandwidth (and flops,
+      // for good measure).
+      cfg.machine.perDevice[0].flops = cfg.machine.device.flops / 4;
+      cfg.machine.perDevice[0].memBandwidth =
+          cfg.machine.device.memBandwidth / 4;
+      return cfg;
+    };
+
+    // Even column: warmup, then measure the steady phase under the seed's
+    // uniform split.
+    double evenSeconds = 0;
+    {
+      rt::Runtime rt(makeRuntime(), model, mod);
+      Loop loop(rt);
+      loop.steps(iters);
+      rt.deviceSynchronize();
+      const double warm = rt.elapsedSeconds();
+      loop.steps(iters);
+      rt.deviceSynchronize();
+      evenSeconds = rt.elapsedSeconds() - warm;
+      std::printf("  %4d  %10s  %12.4f  %12s  %6s\n", gpus, "even",
+                  evenSeconds, "1", "-");
+    }
+
+    // Balanced column: same warmup feeds the busy-time ledger, then one
+    // repartition onto the inverse-speed weights.
+    {
+      rt::Runtime rt(makeRuntime(), model, mod);
+      Loop loop(rt);
+      loop.steps(iters);
+      rt.deviceSynchronize();
+      rt::Partitioning bal = rt.loadBalancedPartitioning("scale");
+      rt.repartitionAll(bal);
+      rt.deviceSynchronize();
+      const double warm = rt.elapsedSeconds();
+      loop.steps(iters);
+      rt.deviceSynchronize();
+      const double balSeconds = rt.elapsedSeconds() - warm;
+      const double delta = evenSeconds > 0
+                               ? 100.0 * (evenSeconds - balSeconds) / evenSeconds
+                               : 0.0;
+      std::printf("  %4d  %10s  %12.4f  %12lld  %5.1f%%\n", gpus, "balanced",
+                  balSeconds, static_cast<long long>(bal.weights[0]), delta);
+      std::fflush(stdout);
+
+      json::Value& row = polypart::benchutil::benchRow();
+      row["table"] = "rebalance";
+      row["gpus"] = gpus;
+      row["evenSeconds"] = evenSeconds;
+      row["balancedSeconds"] = balSeconds;
+      row["slowDeviceWeight"] = bal.weights[0];
+      row["deltaPercent"] = delta;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace polypart::benchutil;
+
+  openBenchReport("repartition");
+  printHeader("Extension: elastic runtime repartitioning",
+              "beyond the paper; partitions are fixed per launch config there");
+
+  const double scale = parseItersScale(argc, argv);
+  int iters = static_cast<int>(12 * scale);
+  if (iters < 2) iters = 2;
+
+  ir::Module mod = buildModule();
+  analysis::ApplicationModel model = analysis::analyzeModule(mod);
+
+  tableTransitionCost(model, mod, iters);
+  tableRebalanceWin(model, mod, iters);
+
+  std::printf(
+      "\nExpectation: Table A's moved/full share stays well under 100%% (the\n"
+      "transition is the ownership difference, not the footprint), and\n"
+      "Table B's balanced column beats the even split on the skewed machine\n"
+      "because the slow device's share shrinks to match its speed.\n");
+  return 0;
+}

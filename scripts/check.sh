@@ -3,11 +3,12 @@
 # and a TSan configuration covering the parallel resolution engine — the same
 # recipes .claude/skills/verify/SKILL.md documents, run back to back.
 #
-#   scripts/check.sh            # everything (tier-1, asan, tsan, bytecode, dataflow)
+#   scripts/check.sh            # everything (tier-1, asan, tsan, bytecode, dataflow, repartition)
 #   scripts/check.sh tier1      # just the default build + full test suite
 #   scripts/check.sh asan tsan  # just the sanitizer configurations
 #   scripts/check.sh bytecode   # sanitizer trees re-run under the bytecode tier
 #   scripts/check.sh dataflow   # sanitizer trees re-run with dataflow planning on
+#   scripts/check.sh repartition # sanitizer trees re-run with repartitioning allowed
 #
 # Each configuration uses its own build tree (build/, build-asan/, build-tsan/;
 # all gitignored).  TSan cannot be combined with ASan in one tree — the
@@ -17,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan bytecode dataflow)
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan bytecode dataflow repartition)
 
 run() {
   echo
@@ -118,8 +119,35 @@ for stage in "${stages[@]}"; do
       run env POLYPART_DATAFLOW_PLANNING=1 \
         ctest --test-dir build-tsan -j "$jobs" --output-on-failure -L fuzz
       ;;
+    repartition)
+      # Elastic repartitioning pass: POLYPART_ALLOW_REPARTITIONING=1 flips
+      # the RuntimeConfig *default* (rt/runtime.cpp), so every suite runs
+      # with the repartition entry points armed — the knob-off error paths
+      # pin allowRepartitioning=false explicitly and still test what they
+      # name.  The repartition/checkpoint suites exercise migration,
+      # host-side checkpointing, and device-failure recovery under ASan/
+      # UBSan; under TSan the point is migration and recovery composing
+      # with the threaded resolution and pipelined launch engines.  Reuses
+      # the sanitizer trees the asan/tsan stages configure.
+      run cmake -B build-asan -S . -DPOLYPART_SANITIZE=address,undefined
+      run cmake --build build-asan -j "$jobs"
+      run env POLYPART_ALLOW_REPARTITIONING=1 \
+        ctest --test-dir build-asan -j "$jobs" --output-on-failure \
+        -R 'Repartition|Checkpoint|EnvKnobs|Dataflow|Runtime|TransferPlan|Tracker' \
+        -LE fuzz
+      run env POLYPART_ALLOW_REPARTITIONING=1 \
+        ctest --test-dir build-asan -j "$jobs" --output-on-failure -L fuzz
+      run cmake -B build-tsan -S . -DPOLYPART_SANITIZE=thread
+      run cmake --build build-tsan -j "$jobs"
+      run env POLYPART_ALLOW_REPARTITIONING=1 \
+        ctest --test-dir build-tsan -j "$jobs" --output-on-failure \
+        -R 'Repartition|Checkpoint|Pipelined|ParallelResolution|Runtime' \
+        -LE fuzz
+      run env POLYPART_ALLOW_REPARTITIONING=1 \
+        ctest --test-dir build-tsan -j "$jobs" --output-on-failure -L fuzz
+      ;;
     *)
-      echo "unknown stage '$stage' (expected: tier1, asan, tsan, bytecode, dataflow)" >&2
+      echo "unknown stage '$stage' (expected: tier1, asan, tsan, bytecode, dataflow, repartition)" >&2
       exit 2
       ;;
   esac

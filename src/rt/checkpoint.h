@@ -1,0 +1,62 @@
+#pragma once
+
+// Host-side checkpoints for device-failure recovery (extension; see
+// DESIGN.md "Elastic repartitioning").
+//
+// A checkpoint snapshots every byte range that exists on exactly one live
+// device: replicated ranges (sharer-tracked copies, prefetched replicas)
+// survive a single device failure without help, so only exclusive ranges
+// cost host memory and D2H bandwidth.  On partitioned workloads each device
+// exclusively owns ~1/N of the data, which is what makes the checkpoint
+// cheap relative to a full dump.
+//
+// Recovery (Runtime::recoverDevice) consumes a checkpoint: ranges the failed
+// device owned are restored onto a survivor from the snapshot — unless a
+// live replica exists, which is adopted without a copy — and the kernels are
+// repartitioned onto the surviving devices.
+
+#include <cstddef>
+#include <vector>
+
+#include "rt/tracker.h"
+#include "support/arith.h"
+
+namespace polypart::rt {
+
+class VirtualBuffer;
+
+/// An immutable host-side snapshot produced by Runtime::checkpoint().
+/// Only meaningful for the runtime that produced it, and only while the
+/// buffers it references stay allocated.
+class Checkpoint {
+ public:
+  /// Total snapshotted payload bytes.
+  i64 payloadBytes() const {
+    i64 n = 0;
+    for (const BufferImage& bi : images_)
+      for (const Segment& s : bi.segments) n += s.end - s.begin;
+    return n;
+  }
+  std::size_t segmentCount() const {
+    std::size_t n = 0;
+    for (const BufferImage& bi : images_) n += bi.segments.size();
+    return n;
+  }
+  std::size_t bufferCount() const { return images_.size(); }
+
+ private:
+  friend class Runtime;
+  struct Segment {
+    i64 begin = 0;
+    i64 end = 0;
+    Owner owner = kOwnerUndefined;  // the only device holding the bytes
+    std::vector<char> data;        // empty in TimingOnly mode
+  };
+  struct BufferImage {
+    const VirtualBuffer* buf = nullptr;
+    std::vector<Segment> segments;
+  };
+  std::vector<BufferImage> images_;
+};
+
+}  // namespace polypart::rt

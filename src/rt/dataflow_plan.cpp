@@ -7,6 +7,7 @@
 
 #include "codegen/enumerator.h"
 #include "pset/ast.h"
+#include "rt/footprint.h"
 #include "rt/runtime.h"
 #include "support/arith.h"
 
@@ -61,114 +62,14 @@ std::size_t DataflowPlanner::detectPeriod() const {
   return 0;
 }
 
-namespace {
-
-/// Model-parameter values of one launch: [bd.x, bd.y, bd.z, gd.x, gd.y,
-/// gd.z, <i64 scalars in declaration order>] — the model param space layout.
-std::vector<i64> paramVec(const ir::Dim3& grid, const ir::Dim3& block,
-                          std::span<const i64> scalars) {
-  std::vector<i64> v{block.x, block.y, block.z, grid.x, grid.y, grid.z};
-  v.insert(v.end(), scalars.begin(), scalars.end());
-  return v;
-}
-
-/// Canonical rank-r element space all flow sets of one array are rebased
-/// into: access maps of different kernels name their output dims
-/// differently, and Space equality includes names.
-Space canonSpace(std::size_t rank) {
-  std::vector<std::string> names;
-  names.reserve(rank);
-  for (std::size_t i = 0; i < rank; ++i) names.push_back("d" + std::to_string(i));
-  return Space::set({}, names);
-}
-
-/// Copies a set into `canon` (same rank, zero params on both sides, so the
-/// column layouts match and constraints transfer verbatim).
-Set rebase(const Set& s, const Space& canon) {
-  Set out(canon);
-  if (!s.exact()) out.markInexact();
-  for (const BasicSet& part : s.parts()) {
-    if (part.markedEmpty()) continue;
-    BasicSet aligned(canon);
-    for (const Constraint& c : part.constraints()) aligned.add(c);
-    aligned.simplify();
-    if (!aligned.markedEmpty()) out.addPart(std::move(aligned));
-  }
-  return out;
-}
-
-/// Concrete array extents for one launch, outermost first; rank-1 arrays
-/// without a declared shape span the whole buffer.  nullopt when a shape
-/// row does not evaluate to a positive extent.
-std::optional<std::vector<i64>> evalShape(const ArrayModel& a,
-                                          std::span<const i64> params,
-                                          const VirtualBuffer& buf,
-                                          i64 elemBytes) {
-  std::vector<i64> dims;
-  if (a.shape.empty()) {
-    dims.push_back(buf.bytes() / elemBytes);
-  } else {
-    try {
-      for (const pset::LinExpr& row : a.shape) {
-        i64 v = row.constantTerm();
-        for (std::size_t p = 0; p < params.size(); ++p)
-          v = checkedAdd(v, checkedMul(row[p + 1], params[p]));
-        dims.push_back(v);
-      }
-    } catch (...) {
-      return std::nullopt;
-    }
-  }
-  for (i64 d : dims)
-    if (d <= 0) return std::nullopt;
-  return dims;
-}
-
-struct Flattened {
-  std::vector<std::pair<i64, i64>> ranges;  // merged half-open element ranges
-  i64 elems = 0;
-};
-
-/// Scans every part of a concrete (parameter-free) flow set into flattened
-/// element ranges under row-major `dims`, merged and clipped to the array.
-/// nullopt when a part cannot be scanned or the range count explodes.
-std::optional<Flattened> flatten(const Set& s, const std::vector<i64>& dims,
-                                 i64 totalElems, std::size_t maxRanges) {
-  const std::size_t rank = dims.size();
-  std::vector<i64> strides(rank, 1);
-  for (std::size_t i = rank - 1; i > 0; --i)
-    strides[i - 1] = strides[i] * dims[i];
-  std::vector<std::pair<i64, i64>> raw;
-  try {
-    for (const BasicSet& part : s.parts()) {
-      if (part.markedEmpty()) continue;
-      pset::ScanNest nest = pset::buildScan(part);
-      pset::scanRows(nest, {}, [&](std::span<const i64> coords, i64 lo, i64 hi) {
-        i64 base = 0;
-        for (std::size_t i = 0; i < coords.size(); ++i)
-          base = checkedAdd(base, checkedMul(coords[i], strides[i]));
-        i64 b = std::max<i64>(checkedAdd(base, lo), 0);
-        i64 e = std::min<i64>(checkedAdd(checkedAdd(base, hi), 1), totalElems);
-        if (b < e) raw.emplace_back(b, e);
-      });
-      if (raw.size() > maxRanges) throw OverflowError("flow set too fragmented");
-    }
-  } catch (...) {
-    return std::nullopt;
-  }
-  std::sort(raw.begin(), raw.end());
-  Flattened out;
-  for (const auto& [b, e] : raw) {
-    if (!out.ranges.empty() && b <= out.ranges.back().second)
-      out.ranges.back().second = std::max(out.ranges.back().second, e);
-    else
-      out.ranges.emplace_back(b, e);
-  }
-  for (const auto& [b, e] : out.ranges) out.elems += e - b;
-  return out;
-}
-
-}  // namespace
+// The concrete-footprint helpers (paramVec/canonSpace/rebase/evalShape/
+// flatten) live in rt/footprint.h, shared with runtime repartitioning.
+using footprint::canonSpace;
+using footprint::evalShape;
+using footprint::flatten;
+using footprint::Flattened;
+using footprint::paramVec;
+using footprint::rebase;
 
 bool DataflowPlanner::compilePlan() {
   const std::size_t p = cycle_.size();
@@ -188,7 +89,7 @@ bool DataflowPlanner::compilePlan() {
       VirtualBuffer* buf = prod.buffers[wa.argIndex];
       if (buf == nullptr) continue;
       std::optional<std::vector<i64>> prodDims =
-          evalShape(wa, prodParams, *buf, elemBytes_);
+          evalShape(wa, prodParams, buf->bytes(), elemBytes_);
       if (!prodDims) continue;
       i64 totalElems = 1;
       try {
@@ -228,7 +129,7 @@ bool DataflowPlanner::compilePlan() {
           if (!ra.hasReads()) continue;
           if (cons.buffers[ra.argIndex] != buf) continue;
           std::optional<std::vector<i64>> consDims =
-              evalShape(ra, consParams, *buf, elemBytes_);
+              evalShape(ra, consParams, buf->bytes(), elemBytes_);
           // Incompatible flattening geometries cannot be related statically;
           // skip the edge (the reactive path still moves the bytes).
           if (!consDims || *consDims != *prodDims) continue;
@@ -282,7 +183,7 @@ bool DataflowPlanner::compilePlan() {
           if (!wa2.hasWrites()) continue;
           if (cons.buffers[wa2.argIndex] != buf) continue;
           std::optional<std::vector<i64>> killDims =
-              evalShape(wa2, consParams, *buf, elemBytes_);
+              evalShape(wa2, consParams, buf->bytes(), elemBytes_);
           // A write we cannot relate to the producer's geometry is simply
           // not subtracted — elision only ever under-fires (safe: the
           // tracker clip at issue time discards any stale prefetch).

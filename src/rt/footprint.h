@@ -1,0 +1,138 @@
+#pragma once
+
+// Shared concrete-footprint machinery: evaluating an ArrayModel's access
+// maps for one launch into flattened element ranges of the backing buffer.
+//
+// Both consumers compute per-device footprints of a concrete (grid, block,
+// scalars) launch by boxing an access map with `Map::rangeUnderBox`, rebasing
+// the result into a canonical element space, and scanning it into merged
+// row-major ranges:
+//   - the cross-launch dataflow planner (dataflow_plan.cpp) intersects
+//     producer write sets with consumer read sets into flow edges;
+//   - runtime repartitioning (repartition.cpp) subtracts the old partition's
+//     write footprint from the new one to get the minimal transition set.
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/model.h"
+#include "ir/type.h"
+#include "pset/ast.h"
+#include "pset/set.h"
+#include "support/arith.h"
+#include "support/error.h"
+
+namespace polypart::rt::footprint {
+
+/// Model-parameter values of one launch: [bd.x, bd.y, bd.z, gd.x, gd.y,
+/// gd.z, <i64 scalars in declaration order>] — the model param space layout.
+inline std::vector<i64> paramVec(const ir::Dim3& grid, const ir::Dim3& block,
+                                 std::span<const i64> scalars) {
+  std::vector<i64> v{block.x, block.y, block.z, grid.x, grid.y, grid.z};
+  v.insert(v.end(), scalars.begin(), scalars.end());
+  return v;
+}
+
+/// Canonical rank-r element space all footprint sets of one array are
+/// rebased into: access maps of different kernels name their output dims
+/// differently, and Space equality includes names.
+inline pset::Space canonSpace(std::size_t rank) {
+  std::vector<std::string> names;
+  names.reserve(rank);
+  for (std::size_t i = 0; i < rank; ++i) names.push_back("d" + std::to_string(i));
+  return pset::Space::set({}, names);
+}
+
+/// Copies a set into `canon` (same rank, zero params on both sides, so the
+/// column layouts match and constraints transfer verbatim).
+inline pset::Set rebase(const pset::Set& s, const pset::Space& canon) {
+  pset::Set out(canon);
+  if (!s.exact()) out.markInexact();
+  for (const pset::BasicSet& part : s.parts()) {
+    if (part.markedEmpty()) continue;
+    pset::BasicSet aligned(canon);
+    for (const pset::Constraint& c : part.constraints()) aligned.add(c);
+    aligned.simplify();
+    if (!aligned.markedEmpty()) out.addPart(std::move(aligned));
+  }
+  return out;
+}
+
+/// Concrete array extents for one launch, outermost first; rank-1 arrays
+/// without a declared shape span the whole buffer (`bufBytes / elemBytes`
+/// elements).  nullopt when a shape row does not evaluate to a positive
+/// extent.
+inline std::optional<std::vector<i64>> evalShape(const analysis::ArrayModel& a,
+                                                 std::span<const i64> params,
+                                                 i64 bufBytes, i64 elemBytes) {
+  std::vector<i64> dims;
+  if (a.shape.empty()) {
+    dims.push_back(bufBytes / elemBytes);
+  } else {
+    try {
+      for (const pset::LinExpr& row : a.shape) {
+        i64 v = row.constantTerm();
+        for (std::size_t p = 0; p < params.size(); ++p)
+          v = checkedAdd(v, checkedMul(row[p + 1], params[p]));
+        dims.push_back(v);
+      }
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  for (i64 d : dims)
+    if (d <= 0) return std::nullopt;
+  return dims;
+}
+
+struct Flattened {
+  std::vector<std::pair<i64, i64>> ranges;  // merged half-open element ranges
+  i64 elems = 0;
+};
+
+/// Scans every part of a concrete (parameter-free) footprint set into
+/// flattened element ranges under row-major `dims`, merged and clipped to
+/// the array.  nullopt when a part cannot be scanned or the range count
+/// explodes.
+inline std::optional<Flattened> flatten(const pset::Set& s,
+                                        const std::vector<i64>& dims,
+                                        i64 totalElems, std::size_t maxRanges) {
+  const std::size_t rank = dims.size();
+  std::vector<i64> strides(rank, 1);
+  for (std::size_t i = rank - 1; i > 0; --i)
+    strides[i - 1] = strides[i] * dims[i];
+  std::vector<std::pair<i64, i64>> raw;
+  try {
+    for (const pset::BasicSet& part : s.parts()) {
+      if (part.markedEmpty()) continue;
+      pset::ScanNest nest = pset::buildScan(part);
+      pset::scanRows(nest, {}, [&](std::span<const i64> coords, i64 lo, i64 hi) {
+        i64 base = 0;
+        for (std::size_t i = 0; i < coords.size(); ++i)
+          base = checkedAdd(base, checkedMul(coords[i], strides[i]));
+        i64 b = std::max<i64>(checkedAdd(base, lo), 0);
+        i64 e = std::min<i64>(checkedAdd(checkedAdd(base, hi), 1), totalElems);
+        if (b < e) raw.emplace_back(b, e);
+      });
+      if (raw.size() > maxRanges) throw OverflowError("footprint too fragmented");
+    }
+  } catch (...) {
+    return std::nullopt;
+  }
+  std::sort(raw.begin(), raw.end());
+  Flattened out;
+  for (const auto& [b, e] : raw) {
+    if (!out.ranges.empty() && b <= out.ranges.back().second)
+      out.ranges.back().second = std::max(out.ranges.back().second, e);
+    else
+      out.ranges.emplace_back(b, e);
+  }
+  for (const auto& [b, e] : out.ranges) out.elems += e - b;
+  return out;
+}
+
+}  // namespace polypart::rt::footprint

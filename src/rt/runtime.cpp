@@ -11,8 +11,10 @@
 #include <unordered_set>
 
 #include "pset/fm_internal.h"
+#include "rt/checkpoint.h"
 #include "rt/dataflow_plan.h"
 #include "rt/transfer_plan.h"
+#include "support/env.h"
 #include "support/error.h"
 #include "support/pipeline.h"
 #include "support/thread_pool.h"
@@ -30,15 +32,22 @@ using ir::GridPartition;
 using ir::LaunchConfig;
 
 codegen::EnumTier defaultEnumeratorTier() {
-  const char* env = std::getenv("POLYPART_ENUMERATOR_TIER");
-  return env ? codegen::enumTierFromString(env) : codegen::EnumTier::Interpret;
+  std::optional<std::string> v = env::value("POLYPART_ENUMERATOR_TIER");
+  if (!v) return codegen::EnumTier::Interpret;
+  try {
+    return codegen::enumTierFromString(*v);
+  } catch (const Error&) {
+    throw Error("invalid POLYPART_ENUMERATOR_TIER value '" + *v +
+                "' (accepted: interpret, bytecode, specialized)");
+  }
 }
 
 bool defaultDataflowPlanning() {
-  const char* env = std::getenv("POLYPART_DATAFLOW_PLANNING");
-  if (env == nullptr) return false;
-  const std::string v(env);
-  return !(v.empty() || v == "0" || v == "off" || v == "false");
+  return env::flag("POLYPART_DATAFLOW_PLANNING", false);
+}
+
+bool defaultAllowRepartitioning() {
+  return env::flag("POLYPART_ALLOW_REPARTITIONING", false);
 }
 
 namespace {
@@ -77,6 +86,18 @@ void addStatsDiff(RuntimeStats& into, const RuntimeStats& before,
   into.bytesPrefetched += after.bytesPrefetched - before.bytesPrefetched;
   into.bytesElided += after.bytesElided - before.bytesElided;
   into.prefetchHits += after.prefetchHits - before.prefetchHits;
+  into.repartitions += after.repartitions - before.repartitions;
+  into.repartitionCopies += after.repartitionCopies - before.repartitionCopies;
+  into.bytesRepartitioned +=
+      after.bytesRepartitioned - before.bytesRepartitioned;
+  into.bytesRepartitionFootprint +=
+      after.bytesRepartitionFootprint - before.bytesRepartitionFootprint;
+  into.checkpoints += after.checkpoints - before.checkpoints;
+  into.bytesCheckpointed += after.bytesCheckpointed - before.bytesCheckpointed;
+  into.recoveries += after.recoveries - before.recoveries;
+  into.restoreCopies += after.restoreCopies - before.restoreCopies;
+  into.bytesRestored += after.bytesRestored - before.bytesRestored;
+  into.bytesAdopted += after.bytesAdopted - before.bytesAdopted;
   into.resolutionTasks += after.resolutionTasks - before.resolutionTasks;
   into.resolutionWallSeconds +=
       after.resolutionWallSeconds - before.resolutionWallSeconds;
@@ -185,6 +206,7 @@ Runtime::Runtime(RuntimeConfig config, analysis::ApplicationModel model,
     KernelEntry& ke = entries[static_cast<std::size_t>(i)];
     ke.model = &km;
     ke.partitioned = ir::partitionKernel(*k);
+    ke.partitioning = Partitioning::even(config_.numGpus);
     ke.enumerators = codegen::buildEnumerators(km);
     for (Enumerator& e : ke.enumerators) {
       e.coalesce = config_.coalesceEnumerators;
@@ -314,10 +336,18 @@ VirtualBuffer* Runtime::malloc(i64 bytes, TenantId tenant) {
   std::vector<sim::DevBuffer> instances;
   instances.reserve(static_cast<std::size_t>(config_.numGpus));
   for (int d = 0; d < config_.numGpus; ++d)
-    instances.push_back(machine_->alloc(d, bytes));
+    instances.push_back(machine_->deviceFailed(d) ? sim::DevBuffer{}
+                                                  : machine_->alloc(d, bytes));
   buffers_.push_back(std::unique_ptr<VirtualBuffer>(
       new VirtualBuffer(bytes, std::move(instances), tenant)));
-  return buffers_.back().get();
+  VirtualBuffer* vb = buffers_.back().get();
+  // The heap may hand back the address of a previously freed VirtualBuffer;
+  // a stale freed record for it would misdiagnose a later bad free of this
+  // live buffer as a double free of the old one.
+  freedBuffers_.erase(
+      std::remove(freedBuffers_.begin(), freedBuffers_.end(), vb),
+      freedBuffers_.end());
+  return vb;
 }
 
 void Runtime::free(VirtualBuffer* buf) {
@@ -333,8 +363,21 @@ void Runtime::free(VirtualBuffer* buf) {
       // known live (the double-free diagnosis below must not touch *buf).
       if (!planners_.empty())
         planners_[static_cast<std::size_t>(buf->tenant())]->reset();
-      for (const sim::DevBuffer& b : buf->instances_) machine_->free(b);
+      for (auto& [name, ke] : kernels_) {
+        if (!ke.hasLastLaunch) continue;
+        if (std::find(ke.lastBuffers.begin(), ke.lastBuffers.end(), buf) !=
+            ke.lastBuffers.end())
+          ke.hasLastLaunch = false;
+      }
+      for (const sim::DevBuffer& b : buf->instances_)
+        if (b.valid()) machine_->free(b);
       freedBuffers_.push_back(buf);
+      // Bounded diagnostic history: drop the oldest records beyond the cap
+      // (the diagnosis below degrades gracefully for dropped entries — a
+      // stale double free reports as a foreign-pointer free).
+      constexpr std::size_t kMaxFreedRecords = 256;
+      if (freedBuffers_.size() > kMaxFreedRecords)
+        freedBuffers_.erase(freedBuffers_.begin());
       buffers_.erase(it);
       return;
     }
@@ -371,12 +414,20 @@ void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
       // overwrites the device instances; the post-copy barrier alone would
       // let the copies race with in-flight kernels in the timing model.
       machine_->synchronizeAll();
-      const int g = config_.numGpus;
+      // Scatter only across live devices (identical arithmetic to scattering
+      // across all of them while none has failed).
+      std::vector<int> targets;
+      targets.reserve(static_cast<std::size_t>(config_.numGpus));
+      for (int d = 0; d < config_.numGpus; ++d)
+        if (!machine_->deviceFailed(d)) targets.push_back(d);
+      PP_ASSERT_MSG(!targets.empty(), "host-to-device copy with no live device");
+      const int g = static_cast<int>(targets.size());
       if (config_.h2dDistribution == H2DDistribution::Linear) {
         const i64 elems = bytes / kElemBytes;
-        for (int d = 0; d < g; ++d) {
-          i64 lo = elems * d / g * kElemBytes;
-          i64 hi = d + 1 == g ? bytes : elems * (d + 1) / g * kElemBytes;
+        for (int i = 0; i < g; ++i) {
+          const int d = targets[static_cast<std::size_t>(i)];
+          i64 lo = elems * i / g * kElemBytes;
+          i64 hi = i + 1 == g ? bytes : elems * (i + 1) / g * kElemBytes;
           if (lo >= hi) continue;
           // src is null in TimingOnly mode; don't offset the null pointer.
           machine_->copyHostToDevice(vb->instances_[static_cast<std::size_t>(d)], lo,
@@ -390,8 +441,9 @@ void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
         // Round-robin pages (ablation): fragments ownership across GPUs.
         const i64 page = config_.h2dPageBytes;
         i64 off = 0;
-        int d = 0;
+        int i = 0;
         while (off < bytes) {
+          const int d = targets[static_cast<std::size_t>(i)];
           i64 len = std::min(page, bytes - off);
           machine_->copyHostToDevice(vb->instances_[static_cast<std::size_t>(d)], off,
                                      src ? static_cast<const char*>(src) + off : nullptr,
@@ -400,7 +452,7 @@ void Runtime::memcpy(void* dst, const void* src, i64 bytes, MemcpyKind kind) {
                          {{"dst", d}, {"bytes", len}});
           vb->tracker_.update(off, off + len, d);
           off += len;
-          d = (d + 1) % g;
+          i = (i + 1) % g;
         }
       }
       machine_->synchronizeAll();
@@ -442,11 +494,27 @@ double Runtime::elapsedSeconds() const { return machine_->completionTime(); }
 
 GridPartition Runtime::partitionFor(const KernelModel& model, const Dim3& grid,
                                     int gpu) const {
-  const int g = config_.numGpus;
+  auto it = kernels_.find(model.kernel);
+  if (it != kernels_.end())
+    return partitionWith(model, grid, gpu, it->second.partitioning);
+  // A model this runtime does not manage (test helper usage): even split.
+  return partitionWith(model, grid, gpu, Partitioning::even(config_.numGpus));
+}
+
+GridPartition Runtime::partitionWith(const KernelModel& model, const Dim3& grid,
+                                     int gpu, const Partitioning& part) {
+  PP_ASSERT(gpu >= 0 && static_cast<std::size_t>(gpu) < part.weights.size());
+  // Weighted generalization of the paper's even block split: device d covers
+  // [extent * prefix(d) / total, extent * (prefix(d) + w(d)) / total).
+  // All-equal weights reduce to the seed's extent*gpu/g arithmetic exactly.
+  const i64 total = part.totalWeight();
+  i64 pre = 0;
+  for (int d = 0; d < gpu; ++d) pre += part.weights[static_cast<std::size_t>(d)];
+  const i64 w = part.weights[static_cast<std::size_t>(gpu)];
   GridPartition p{{0, 0, 0}, grid};
   auto chunk = [&](i64 extent, i64& lo, i64& hi) {
-    lo = extent * gpu / g;
-    hi = extent * (gpu + 1) / g;
+    lo = extent * pre / total;
+    hi = extent * (pre + w) / total;
   };
   switch (model.strategy) {
     case PartitionStrategy::SplitX: chunk(grid.x, p.lo.x, p.hi.x); break;
@@ -1367,6 +1435,15 @@ void Runtime::executeLaunch(PendingLaunch& pl) {
   if (planned) issuePrefetches(pl, obs.step, std::move(kernelDone));
   machine_->setDeviceOrdering(false);
   sampleCacheCounters();
+
+  // Remember this launch's signature so a later repartition can recompute
+  // the kernel's per-device write footprints under both geometries.
+  ke.hasLastLaunch = true;
+  ke.lastCfg = cfg;
+  ke.lastBuffers.clear();
+  ke.lastBuffers.reserve(args.size());
+  for (const LaunchArg& a : args) ke.lastBuffers.push_back(a.buffer);
+  ke.lastScalars.assign(scalars.begin(), scalars.end());
 }
 
 void Runtime::commitLaunch(PendingLaunch& pl) {

@@ -64,6 +64,7 @@ class Tracer;
 
 namespace polypart::rt {
 
+class Checkpoint;
 class DataflowPlanner;
 class TransferPlan;
 
@@ -79,11 +80,63 @@ enum class H2DDistribution { Linear, RoundRobinPages };
 /// overriding configs that set the knob explicitly.
 codegen::EnumTier defaultEnumeratorTier();
 
-/// Process-default for RuntimeConfig::dataflowPlanning: true when the
-/// POLYPART_DATAFLOW_PLANNING environment variable is set to a value other
-/// than "0"/"off"/"false", else false.  Mirrors POLYPART_ENUMERATOR_TIER so
-/// suites can be re-run with planning forced on without touching configs.
+/// Process-default for RuntimeConfig::dataflowPlanning: the
+/// POLYPART_DATAFLOW_PLANNING environment flag when set (strictly parsed:
+/// 0/1/on/off/true/false/yes/no; anything else throws naming the variable),
+/// else false.  Mirrors POLYPART_ENUMERATOR_TIER so suites can be re-run
+/// with planning forced on without touching configs.
 bool defaultDataflowPlanning();
+
+/// Process-default for RuntimeConfig::allowRepartitioning: the
+/// POLYPART_ALLOW_REPARTITIONING environment flag when set (same strict
+/// parse as POLYPART_DATAFLOW_PLANNING), else false.  Forcing it on
+/// globally is behaviour-neutral for applications that never call
+/// repartition(), which is what lets check.sh re-run whole suites with the
+/// knob enabled.
+bool defaultAllowRepartitioning();
+
+/// A weighted grid partitioning along a kernel's split axis: device d gets
+/// the block range [extent * prefix(d) / total, extent * (prefix(d) +
+/// weights[d]) / total).  All-equal weights reproduce the paper's even
+/// split bit-for-bit; a zero weight gives the device an empty partition
+/// (elasticity: the device is excluded from compute without being removed
+/// from the machine).
+struct Partitioning {
+  std::vector<i64> weights;  // one non-negative weight per GPU
+
+  /// The paper's even split over `numGpus` devices (weight 1 each).
+  static Partitioning even(int numGpus) {
+    return Partitioning{std::vector<i64>(static_cast<std::size_t>(numGpus), 1)};
+  }
+
+  i64 totalWeight() const {
+    i64 t = 0;
+    for (i64 w : weights) t += w;
+    return t;
+  }
+  /// Devices with a non-zero share.
+  int activeDevices() const {
+    int n = 0;
+    for (i64 w : weights)
+      if (w > 0) ++n;
+    return n;
+  }
+
+  bool operator==(const Partitioning&) const = default;
+};
+
+/// Outcome of one Runtime::repartition() call.
+struct RepartitionResult {
+  /// Bytes actually copied between devices (the pset old/new difference,
+  /// clipped against live tracker ownership).
+  i64 bytesMoved = 0;
+  /// Full write footprint of the new partitioning — what a naive
+  /// re-distribution of everything the kernel touches would move.  The
+  /// minimality guarantee is bytesMoved <= bytesFootprint.
+  i64 bytesFootprint = 0;
+  /// Peer copies issued for the transition.
+  i64 copies = 0;
+};
 
 struct RuntimeConfig {
   int numGpus = 1;
@@ -144,6 +197,16 @@ struct RuntimeConfig {
   /// POLYPART_DATAFLOW_PLANNING environment override, else off.  Requires
   /// dependency resolution and transfers to be enabled to take effect.
   bool dataflowPlanning = defaultDataflowPlanning();
+  /// Runtime repartitioning (extension; see DESIGN.md "Elastic
+  /// repartitioning").  Off (default): the paper's behaviour — the grid
+  /// partitioning chosen at construction is fixed for the life of the run,
+  /// and repartition()/recoverDevice() throw.  On: Runtime::repartition()
+  /// may change a kernel's per-device weights between launches, migrating
+  /// only the pset difference of the old and new write footprints;
+  /// checkpoint()/recoverDevice() add device-failure recovery on top.
+  /// Behaviour-neutral until repartition() is actually called.  Defaults to
+  /// the POLYPART_ALLOW_REPARTITIONING environment override, else off.
+  bool allowRepartitioning = defaultAllowRepartitioning();
   /// Page size for the round-robin distribution (bytes).
   i64 h2dPageBytes = 65536;
   /// Launch-plan enumeration cache: memoizes, per kernel, the coalesced
@@ -286,6 +349,18 @@ struct RuntimeStats {
   i64 bytesPrefetched = 0;  // bytes moved by those copies (post-merge)
   i64 bytesElided = 0;      // flow bytes proved dead before their next read
   i64 prefetchHits = 0;     // reactive copies skipped via prefetched replicas
+  // Elastic-repartitioning counters (all 0 unless repartition()/checkpoint()/
+  // recoverDevice() are called).
+  i64 repartitions = 0;             // repartition() calls that changed weights
+  i64 repartitionCopies = 0;        // peer copies issued by transitions
+  i64 bytesRepartitioned = 0;       // bytes those copies moved
+  i64 bytesRepartitionFootprint = 0;  // full new-footprint upper bound
+  i64 checkpoints = 0;              // checkpoint() calls
+  i64 bytesCheckpointed = 0;        // exclusive bytes snapshotted to the host
+  i64 recoveries = 0;               // recoverDevice() calls
+  i64 restoreCopies = 0;            // H2D copies restoring checkpointed ranges
+  i64 bytesRestored = 0;            // bytes those copies restored
+  i64 bytesAdopted = 0;             // lost bytes re-owned from live replicas
   // Engine meta-counters.  These describe *how* the resolution executed, not
   // what it computed: wall-clock fields are nondeterministic by nature and
   // resolutionTasks is 0 in serial mode, so the determinism guarantee of
@@ -416,6 +491,48 @@ class Runtime {
   ir::GridPartition partitionFor(const analysis::KernelModel& model,
                                  const ir::Dim3& grid, int gpu) const;
 
+  // -- elastic repartitioning (RuntimeConfig::allowRepartitioning) -----------
+  /// The current weighted partitioning of `kernelName` (even at start).
+  const Partitioning& partitioning(const std::string& kernelName) const;
+  /// Changes `kernelName`'s partitioning to `next` between launches.  Drains
+  /// the pipeline, then migrates only the difference of the old and new
+  /// write footprints (a per-device pset subtraction over the kernel's last
+  /// launch signature, clipped against live tracker ownership) and updates
+  /// the trackers, so subsequent launches resolve against the new layout
+  /// with byte-identical results.  Invalidates every tenant's dataflow plan.
+  /// Throws Error when repartitioning is disabled or `next` is invalid
+  /// (wrong arity, negative weights, zero total, weight on a failed device).
+  RepartitionResult repartition(const std::string& kernelName,
+                                const Partitioning& next);
+  /// repartition() over every kernel (one shared new partitioning);
+  /// returns the summed result.
+  RepartitionResult repartitionAll(const Partitioning& next);
+  /// Load-rebalancing policy: new weights proportional to current weight
+  /// divided by measured per-device kernel busy seconds
+  /// (sim::Machine::kernelBusySecondsForDevice), normalized to integer
+  /// weights summing to ~`scale`.  Failed devices get 0; active devices
+  /// never drop below 1.  Returns the current partitioning unchanged when
+  /// any active device has no measured load yet.
+  Partitioning loadBalancedPartitioning(const std::string& kernelName,
+                                        i64 scale = 1024) const;
+
+  // -- device-failure recovery (rt/checkpoint.h) -----------------------------
+  /// Host-side snapshot of every byte range that exists on exactly one live
+  /// device (replicated ranges survive a single failure without help).
+  /// Drains and synchronizes first.  Cheap relative to a full dump: on
+  /// partitioned workloads each device exclusively owns ~1/N of the data.
+  Checkpoint checkpoint();
+  /// Recovers from the failure of `device` (after sim::Machine::failDevice):
+  /// lost exclusive ranges are restored from `cp` onto a surviving device
+  /// (ranges with a live replica are adopted without a copy), the failed
+  /// device's sharer bits are dropped, and every kernel is repartitioned to
+  /// `next` (which must give `device` weight 0).  Throws Error when a lost
+  /// range is covered by neither a replica nor the checkpoint.
+  void recoverDevice(int device, const Checkpoint& cp, const Partitioning& next);
+
+  /// Test hook for the free() bookkeeping: retained freed-buffer records.
+  std::size_t freedRecordCount() const { return freedBuffers_.size(); }
+
  private:
   /// A cached launch plan: the materialized output of every enumerator of a
   /// kernel (indexed like KernelEntry::enumerators) for one EnumerationKey.
@@ -425,6 +542,16 @@ class Runtime {
     const analysis::KernelModel* model = nullptr;
     ir::KernelPtr partitioned;
     std::vector<codegen::Enumerator> enumerators;
+    /// Current weighted grid partitioning (even(numGpus) at construction).
+    Partitioning partitioning;
+    /// Signature of the most recent launch, recorded by executeLaunch():
+    /// repartition() re-evaluates the kernel's concrete write footprints
+    /// under it to compute the old/new difference.  Cleared when a referenced
+    /// buffer is freed.
+    bool hasLastLaunch = false;
+    ir::LaunchConfig lastCfg;
+    std::vector<VirtualBuffer*> lastBuffers;
+    std::vector<i64> lastScalars;
     /// Enumeration cache (one plan per launch configuration seen, FIFO
     /// bounded by RuntimeConfig::enumerationCachePlansPerKernel).  Plans are
     /// held by shared_ptr so the parallel engine can keep using an acquired
@@ -489,6 +616,18 @@ class Runtime {
 
   const KernelEntry& entry(const std::string& name) const;
   KernelEntry& entry(const std::string& name);
+  /// partitionFor under an explicit weighted partitioning (partitionFor
+  /// itself delegates here with the kernel's current weights).
+  static ir::GridPartition partitionWith(const analysis::KernelModel& model,
+                                         const ir::Dim3& grid, int gpu,
+                                         const Partitioning& part);
+  /// Validates arity/range/total of `next` against this runtime's devices
+  /// (failed devices must have weight 0); throws Error otherwise.
+  void validatePartitioning(const Partitioning& next) const;
+  /// The footprint-difference migration of one kernel's transition
+  /// prev -> next (repartition.cpp).  Caller has drained and validated.
+  RepartitionResult migrateKernel(KernelEntry& ke, const Partitioning& prev,
+                                  const Partitioning& next);
   /// Returns the cached launch plan for one (kernel, partition) pair,
   /// materializing it on a miss; nullptr when the cache is disabled.
   /// `wasHit` reports whether the plan was replayed rather than built.

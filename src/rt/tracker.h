@@ -169,6 +169,26 @@ class SegmentTrackerT {
     coalesceRange(begin, end);
   }
 
+  /// Forgets every replica `device` holds without disturbing ownership:
+  /// clears its sharer bit on all segments it does not own.  Segments it
+  /// *owns* are left alone — the caller (device-failure recovery) reassigns
+  /// those with update() as it restores or adopts each range.  No-op for
+  /// devices outside the sharer bitmap.
+  void dropSharer(int device) {
+    const u64 bit = sharerBit(device);
+    if (bit == 0) return;
+    bool changed = false;
+    for (auto it = segments_.begin(); !it.atEnd(); it.next()) {
+      if (it.value().owner == device) continue;
+      if ((it.value().sharers & bit) == 0) continue;
+      it.value().sharers &= ~bit;
+      changed = true;
+    }
+    if (!changed) return;
+    ++version_;
+    coalesceRange(0, size_);
+  }
+
   /// Like query() but also reports the sharer set of each segment.
   void querySharers(i64 begin, i64 end, const SharedSegmentFn& fn) const {
     clamp(begin, end);

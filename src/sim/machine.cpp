@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "support/error.h"
 #include "support/trace.h"
@@ -72,8 +73,44 @@ const Machine::Storage& Machine::storage(DevBuffer b) const {
   return const_cast<Machine*>(this)->storage(b);
 }
 
+void Machine::failDevice(int device) {
+  PP_ASSERT(device >= 0 && device < spec_.numDevices);
+  Device& d = devices_[static_cast<std::size_t>(device)];
+  PP_ASSERT_MSG(!d.failed, "device already failed");
+  d.failed = true;
+  // Poison, don't clear: a failed device's memory is gone, and any read of
+  // lost data must produce visibly wrong results rather than silently stale
+  // ones.  Handles stay live so the runtime can release them during recovery.
+  if (mode_ == ExecutionMode::Functional) {
+    for (Storage& s : d.buffers) {
+      if (!s.live) continue;
+      std::fill(s.data.begin(), s.data.end(),
+                std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+}
+
+bool Machine::deviceFailed(int device) const {
+  PP_ASSERT(device >= 0 && device < spec_.numDevices);
+  return devices_[static_cast<std::size_t>(device)].failed;
+}
+
+int Machine::liveDeviceCount() const {
+  int n = 0;
+  for (const Device& d : devices_)
+    if (!d.failed) ++n;
+  return n;
+}
+
+double Machine::kernelBusySecondsForDevice(int device) const {
+  PP_ASSERT(device >= 0 && device < spec_.numDevices);
+  return devices_[static_cast<std::size_t>(device)].kernelBusy;
+}
+
 DevBuffer Machine::alloc(int device, i64 bytes) {
   PP_ASSERT(device >= 0 && device < spec_.numDevices && bytes >= 0);
+  PP_ASSERT_MSG(!devices_[static_cast<std::size_t>(device)].failed,
+                "alloc on a failed device");
   chargeApiCall();
   Device& d = devices_[static_cast<std::size_t>(device)];
   Storage s;
@@ -128,6 +165,8 @@ double Machine::modeledBytes(i64 storageBytes) const {
 void Machine::copyHostToDevice(DevBuffer dst, i64 dstOff, const void* src, i64 bytes) {
   chargeApiCall();
   if (bytes <= 0) return;
+  PP_ASSERT_MSG(!devices_[static_cast<std::size_t>(dst.device)].failed,
+                "copy to a failed device");
   Storage& s = storage(dst);
   PP_ASSERT(dstOff >= 0 && dstOff + bytes <= s.bytes);
   if (mode_ == ExecutionMode::Functional && src != nullptr)
@@ -148,6 +187,8 @@ void Machine::copyHostToDevice(DevBuffer dst, i64 dstOff, const void* src, i64 b
 void Machine::copyDeviceToHost(void* dst, DevBuffer src, i64 srcOff, i64 bytes) {
   chargeApiCall();
   if (bytes <= 0) return;
+  PP_ASSERT_MSG(!devices_[static_cast<std::size_t>(src.device)].failed,
+                "copy from a failed device");
   Storage& s = storage(src);
   PP_ASSERT(srcOff >= 0 && srcOff + bytes <= s.bytes);
   if (mode_ == ExecutionMode::Functional && dst != nullptr)
@@ -169,6 +210,9 @@ double Machine::copyPeer(DevBuffer dst, i64 dstOff, DevBuffer src, i64 srcOff,
                          i64 bytes, double notBefore) {
   chargeApiCall();
   if (bytes <= 0) return hostNow_;
+  PP_ASSERT_MSG(!devices_[static_cast<std::size_t>(dst.device)].failed &&
+                    !devices_[static_cast<std::size_t>(src.device)].failed,
+                "peer copy touching a failed device");
   Storage& sd = storage(dst);
   Storage& ss = storage(src);
   PP_ASSERT(dstOff >= 0 && dstOff + bytes <= sd.bytes);
@@ -229,6 +273,8 @@ double Machine::launchKernel(int device, const ir::Kernel& kernel,
                              std::span<const KernelArg> args,
                              const LaunchOptions& options) {
   PP_ASSERT(device >= 0 && device < spec_.numDevices);
+  PP_ASSERT_MSG(!devices_[static_cast<std::size_t>(device)].failed,
+                "kernel launch on a failed device");
   chargeApiCall();
   ++stats_.kernelLaunches;
 
@@ -247,17 +293,20 @@ double Machine::launchKernel(int device, const ir::Kernel& kernel,
     }
   }
 
-  // Timing: per-thread cost scaled by thread count, roofline-style.
+  // Timing: per-thread cost scaled by thread count, roofline-style.  A
+  // heterogeneous spec (MachineSpec::perDevice) gives each device its own
+  // throughput numbers.
+  const DeviceSpec& dev = spec_.deviceSpec(device);
   ir::ThreadCost tc = ir::estimateThreadCost(kernel, cfg, bound);
   double threads = static_cast<double>(cfg.grid.count()) *
                    static_cast<double>(cfg.block.count());
-  double flopTime = tc.flops * threads / spec_.device.flops;
+  double flopTime = tc.flops * threads / dev.flops;
   // Loads are divided by the kernel's declared on-chip reuse (tiling /
   // cache hits); stores always reach DRAM.
   double memTime = (tc.loads / kernel.loadReuse() + tc.stores) * threads *
-                   spec_.bytesPerElement / spec_.device.memBandwidth;
+                   spec_.bytesPerElement / dev.memBandwidth;
   double duration =
-      spec_.device.launchLatency + options.costMultiplier * std::max(flopTime, memTime);
+      dev.launchLatency + options.costMultiplier * std::max(flopTime, memTime);
 
   Device& d = devices_[static_cast<std::size_t>(device)];
   double start = std::max(hostNow_, d.computeReady);
@@ -267,6 +316,7 @@ double Machine::launchKernel(int device, const ir::Kernel& kernel,
     start = std::max({start, d.copyInReady, d.copyOutReady});
   d.computeReady = start + duration;
   stats_.kernelBusySeconds += duration;
+  d.kernelBusy += duration;
   if (launchTag_ >= static_cast<int>(kernelBusyByTag_.size()))
     kernelBusyByTag_.resize(static_cast<std::size_t>(launchTag_) + 1, 0.0);
   kernelBusyByTag_[static_cast<std::size_t>(launchTag_)] += duration;

@@ -156,6 +156,7 @@ class Machine {
   void resetStats() {
     stats_ = {};
     kernelBusyByTag_.clear();
+    for (Device& d : devices_) d.kernelBusy = 0;
   }
 
   /// Tags subsequent launchKernel() calls with a client (tenant) ordinal:
@@ -173,6 +174,21 @@ class Machine {
   /// Tracing never touches the clock, storage, or stats.
   void setTracer(trace::Tracer* tracer);
 
+  // -- failure injection ------------------------------------------------------
+  /// Marks `device` as failed.  Subsequent allocs, copies, and launches
+  /// targeting it assert; its live Functional storage is poisoned with NaN
+  /// so any read of lost data produces visibly wrong results instead of
+  /// silently stale ones.  free() of its buffers stays permitted (the
+  /// runtime releases handles during recovery).
+  void failDevice(int device);
+  bool deviceFailed(int device) const;
+  /// Devices not marked failed.
+  int liveDeviceCount() const;
+
+  /// Kernel busy seconds accumulated on `device` (the load-rebalancing
+  /// signal: modeled compute time actually consumed per device).
+  double kernelBusySecondsForDevice(int device) const;
+
  private:
   struct Storage {
     i64 bytes = 0;
@@ -183,6 +199,8 @@ class Machine {
     double computeReady = 0;
     double copyInReady = 0;
     double copyOutReady = 0;
+    bool failed = false;
+    double kernelBusy = 0;
     std::vector<Storage> buffers;
   };
 

@@ -10,6 +10,8 @@
 // are approximate by design — the reproduction targets speedup *shapes*,
 // not wall-clock equality (see EXPERIMENTS.md).
 
+#include <vector>
+
 #include "support/arith.h"
 
 namespace polypart::sim {
@@ -55,6 +57,16 @@ struct MachineSpec {
   /// benchmarks are single-precision, so kernels move 4 bytes per element
   /// even though functional storage uses 8-byte doubles.
   double bytesPerElement = 4.0;
+
+  /// Per-device spec overrides for heterogeneous nodes (mixed GPU
+  /// generations).  Devices beyond the vector's length — including all of
+  /// them when it is empty, the homogeneous default — use `device`.
+  std::vector<DeviceSpec> perDevice;
+
+  const DeviceSpec& deviceSpec(int d) const {
+    return static_cast<std::size_t>(d) < perDevice.size() ? perDevice[d]
+                                                          : device;
+  }
 
   /// The paper's testbed: K80-class GPUs behind PCIe switches.
   static MachineSpec k80Node(int gpus) {

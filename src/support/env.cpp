@@ -1,0 +1,50 @@
+#include "support/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace polypart::env {
+
+std::optional<std::string> value(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+bool flag(const char* name, bool fallback) {
+  std::optional<std::string> v = value(name);
+  if (!v) return fallback;
+  std::string s = *v;
+  for (char& c : s)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (s == "1" || s == "on" || s == "true" || s == "yes") return true;
+  if (s == "0" || s == "off" || s == "false" || s == "no") return false;
+  throw Error("invalid " + std::string(name) + " value '" + *v +
+              "' (accepted: 0, 1, on, off, true, false, yes, no; "
+              "case-insensitive)");
+}
+
+std::optional<u64> u64Value(const char* name) {
+  std::optional<std::string> v = value(name);
+  if (!v) return std::nullopt;
+  const std::string& s = *v;
+  // strtoull silently wraps negative inputs; reject them up front.
+  std::size_t first = s.find_first_not_of(" \t");
+  if (first != std::string::npos && s[first] == '-') {
+    throw Error("invalid " + std::string(name) + " value '" + s +
+                "' (expected an unsigned integer)");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(s.c_str(), &end, 0);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) {
+    throw Error("invalid " + std::string(name) + " value '" + s +
+                "' (expected an unsigned integer, e.g. 42 or 0x2a)");
+  }
+  return static_cast<u64>(parsed);
+}
+
+}  // namespace polypart::env

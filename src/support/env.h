@@ -1,0 +1,35 @@
+#pragma once
+
+// Strict parsing for the POLYPART_* environment knobs.
+//
+// Every override that flips a RuntimeConfig default or a test harness
+// setting goes through these helpers so an invalid value fails loudly with
+// a diagnostic naming the variable and the accepted values, instead of
+// silently falling back to the default (which hides typos like
+// POLYPART_DATAFLOW_PLANNING=ture for an entire CI run).
+
+#include <optional>
+#include <string>
+
+#include "support/arith.h"
+
+namespace polypart::env {
+
+/// The raw value of `name`, or nullopt when the variable is unset or empty.
+/// An empty string is treated as unset: `env POLYPART_X= cmd` is how shells
+/// clear a knob without unexporting it.
+std::optional<std::string> value(const char* name);
+
+/// Parses `name` as a boolean flag.  Accepted (case-sensitive): `1`, `on`,
+/// `true`, `yes` => true; `0`, `off`, `false`, `no` => false.  Unset/empty
+/// => `fallback`.  Anything else throws Error naming the variable and the
+/// accepted spellings.
+bool flag(const char* name, bool fallback);
+
+/// Parses `name` as an unsigned 64-bit integer (base auto-detected: 0x...,
+/// 0..., decimal).  Unset/empty => nullopt.  Anything unparseable — trailing
+/// garbage, a leading minus, out-of-range — throws Error naming the
+/// variable.
+std::optional<u64> u64Value(const char* name);
+
+}  // namespace polypart::env

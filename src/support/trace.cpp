@@ -326,6 +326,14 @@ EnvTraceSession::EnvTraceSession() {
   if constexpr (!kTracingCompiledIn) return;
   const char* path = std::getenv("POLYPART_TRACE");
   if (path == nullptr || path[0] == '\0') return;
+  // Probe writability up front: an unwritable path would otherwise be
+  // discovered only in the destructor, after the traced run completed, with
+  // the whole trace silently lost.
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr)
+    throw Error(std::string("invalid POLYPART_TRACE value '") + path +
+                "' (expected a writable file path)");
+  std::fclose(f);
   path_ = path;
   tracer_ = std::make_unique<Tracer>();
 }

@@ -346,5 +346,69 @@ TEST(DataflowPlan, PlanningComposesWithPipelineAndThreads) {
   }
 }
 
+TEST(DataflowPlan, PlannedCycleSurvivesRepartition) {
+  // Regression: a repartition changes every kernel's footprint geometry, so
+  // any cycle the planner detected beforehand prefetches the *old* flow sets.
+  // Repartitioning must invalidate the cached plans of every tenant; a stale
+  // plan would prefetch to the wrong devices and (worse) elide transfers that
+  // are no longer dead.  Byte-identity against the reactive path running the
+  // same schedule is the strongest possible check.
+  const std::vector<double> x0 = seededInput(23);
+  const i64 bytes = kN * 8;
+  const Partitioning skew{{3, 1, 1, 3}};
+
+  auto runWith = [&](bool planning) {
+    RuntimeConfig cfg;
+    cfg.numGpus = 4;
+    cfg.mode = sim::ExecutionMode::Functional;
+    cfg.dataflowPlanning = planning;
+    cfg.allowRepartitioning = true;
+    Runtime rt(cfg, loopModel(), loopModule());
+    VirtualBuffer* vx = rt.malloc(bytes);
+    VirtualBuffer* vy = rt.malloc(bytes);
+    std::vector<double> y0(static_cast<std::size_t>(kN), 0.0);
+    rt.memcpy(vx, x0.data(), bytes, MemcpyKind::HostToDevice);
+    rt.memcpy(vy, y0.data(), bytes, MemcpyKind::HostToDevice);
+    const ir::Dim3 grid{kN / kBlock, 1, 1}, block{kBlock, 1, 1};
+    auto iterate = [&](int iters) {
+      for (int it = 0; it < iters; ++it) {
+        LaunchArg a0[] = {LaunchArg::ofInt(kN), LaunchArg::ofBuffer(vx),
+                          LaunchArg::ofBuffer(vy)};
+        rt.launch("scale", grid, block, a0);
+        LaunchArg a1[] = {LaunchArg::ofInt(kN), LaunchArg::ofInt(kN / 2),
+                          LaunchArg::ofBuffer(vy)};
+        rt.launch("fill", grid, block, a1);
+        LaunchArg a2[] = {LaunchArg::ofInt(kN), LaunchArg::ofBuffer(vy),
+                          LaunchArg::ofBuffer(vx)};
+        rt.launch("fold", grid, block, a2);
+      }
+    };
+    iterate(6);  // long enough for the cycle to activate and run planned
+    rt.repartitionAll(skew);
+    iterate(6);  // the plan must re-learn the new geometry, not replay stale
+    RunOut out;
+    out.x.assign(static_cast<std::size_t>(kN), -1.0);
+    out.y.assign(static_cast<std::size_t>(kN), -1.0);
+    rt.memcpy(out.x.data(), vx, bytes, MemcpyKind::DeviceToHost);
+    rt.memcpy(out.y.data(), vy, bytes, MemcpyKind::DeviceToHost);
+    out.stats = rt.stats();
+    return out;
+  };
+
+  RunOut off = runWith(false);
+  RunOut on = runWith(true);
+  EXPECT_EQ(on.x, off.x);
+  EXPECT_EQ(on.y, off.y);
+  std::vector<double> rx = x0, ry(static_cast<std::size_t>(kN), 0.0);
+  for (int it = 0; it < 12; ++it) refStep(rx, ry, kN / 2);
+  EXPECT_EQ(on.x, rx);
+  EXPECT_EQ(on.y, ry);
+  // The plan was live before the repartition and re-activated on the new
+  // geometry afterwards: at least two activations, and planned launches on
+  // both sides of the transition.
+  EXPECT_GE(on.stats.planActivations, 2);
+  EXPECT_GT(on.stats.plannedLaunches, 0);
+}
+
 }  // namespace
 }  // namespace polypart::rt

@@ -1,0 +1,165 @@
+// Environment-knob parsing tests (support/env.h and the POLYPART_* defaults
+// built on it).  The contract under test: a malformed override fails fast
+// with a diagnostic naming the variable and the accepted values — it never
+// silently falls back to a default the user did not ask for.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "codegen/enumerator.h"
+#include "fuzz_util.h"
+#include "rt/runtime.h"
+#include "support/env.h"
+#include "support/error.h"
+#include "support/trace.h"
+
+namespace polypart {
+namespace {
+
+/// RAII environment override restoring the previous value on destruction —
+/// required because check.sh legitimately runs this binary with knobs like
+/// POLYPART_ALLOW_REPARTITIONING=1 already exported.
+class EnvVar {
+ public:
+  EnvVar(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~EnvVar() {
+    if (saved_)
+      ::setenv(name_, saved_->c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+std::string message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(EnvKnobs, ValueTreatsEmptyAsUnset) {
+  EnvVar v("POLYPART_TEST_KNOB", nullptr);
+  EXPECT_FALSE(env::value("POLYPART_TEST_KNOB").has_value());
+  ::setenv("POLYPART_TEST_KNOB", "", 1);
+  EXPECT_FALSE(env::value("POLYPART_TEST_KNOB").has_value());
+  ::setenv("POLYPART_TEST_KNOB", "x", 1);
+  EXPECT_EQ(env::value("POLYPART_TEST_KNOB"), "x");
+}
+
+TEST(EnvKnobs, FlagAcceptsAllDocumentedSpellingsAndRejectsTheRest) {
+  EnvVar v("POLYPART_TEST_KNOB", nullptr);
+  EXPECT_TRUE(env::flag("POLYPART_TEST_KNOB", true));
+  EXPECT_FALSE(env::flag("POLYPART_TEST_KNOB", false));
+  for (const char* on : {"1", "on", "true", "yes", "ON", "True", "YES"}) {
+    ::setenv("POLYPART_TEST_KNOB", on, 1);
+    EXPECT_TRUE(env::flag("POLYPART_TEST_KNOB", false)) << on;
+  }
+  for (const char* off : {"0", "off", "false", "no", "OFF", "False", "NO"}) {
+    ::setenv("POLYPART_TEST_KNOB", off, 1);
+    EXPECT_FALSE(env::flag("POLYPART_TEST_KNOB", true)) << off;
+  }
+  ::setenv("POLYPART_TEST_KNOB", "maybe", 1);
+  std::string msg =
+      message([] { (void)env::flag("POLYPART_TEST_KNOB", false); });
+  EXPECT_NE(msg.find("POLYPART_TEST_KNOB"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("maybe"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("accepted"), std::string::npos) << msg;
+}
+
+TEST(EnvKnobs, U64ParsesDecimalAndHexAndRejectsGarbage) {
+  EnvVar v("POLYPART_TEST_KNOB", nullptr);
+  EXPECT_FALSE(env::u64Value("POLYPART_TEST_KNOB").has_value());
+  ::setenv("POLYPART_TEST_KNOB", "42", 1);
+  EXPECT_EQ(env::u64Value("POLYPART_TEST_KNOB"), u64{42});
+  ::setenv("POLYPART_TEST_KNOB", "0x2a", 1);
+  EXPECT_EQ(env::u64Value("POLYPART_TEST_KNOB"), u64{42});
+  ::setenv("POLYPART_TEST_KNOB", "18446744073709551615", 1);
+  EXPECT_EQ(env::u64Value("POLYPART_TEST_KNOB"), ~u64{0});
+  for (const char* bad :
+       {"pony", "12abc", "-3", "99999999999999999999999", "4.2"}) {
+    ::setenv("POLYPART_TEST_KNOB", bad, 1);
+    std::string msg =
+        message([] { (void)env::u64Value("POLYPART_TEST_KNOB"); });
+    EXPECT_NE(msg.find("POLYPART_TEST_KNOB"), std::string::npos)
+        << bad << ": " << msg;
+  }
+}
+
+TEST(EnvKnobs, EnumeratorTierNamesTheVariableOnBadValues) {
+  EnvVar v("POLYPART_ENUMERATOR_TIER", nullptr);
+  EXPECT_EQ(rt::defaultEnumeratorTier(), codegen::EnumTier::Interpret);
+  ::setenv("POLYPART_ENUMERATOR_TIER", "bytecode", 1);
+  EXPECT_EQ(rt::defaultEnumeratorTier(), codegen::EnumTier::Bytecode);
+  ::setenv("POLYPART_ENUMERATOR_TIER", "specialized", 1);
+  EXPECT_EQ(rt::defaultEnumeratorTier(), codegen::EnumTier::Specialized);
+  ::setenv("POLYPART_ENUMERATOR_TIER", "turbo", 1);
+  std::string msg = message([] { (void)rt::defaultEnumeratorTier(); });
+  EXPECT_NE(msg.find("POLYPART_ENUMERATOR_TIER"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("turbo"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("interpret"), std::string::npos) << msg;
+}
+
+TEST(EnvKnobs, BooleanDefaultsRejectInvalidSpellings) {
+  {
+    EnvVar v("POLYPART_DATAFLOW_PLANNING", nullptr);
+    EXPECT_FALSE(rt::defaultDataflowPlanning());
+    ::setenv("POLYPART_DATAFLOW_PLANNING", "yes", 1);
+    EXPECT_TRUE(rt::defaultDataflowPlanning());
+    ::setenv("POLYPART_DATAFLOW_PLANNING", "2", 1);
+    std::string msg = message([] { (void)rt::defaultDataflowPlanning(); });
+    EXPECT_NE(msg.find("POLYPART_DATAFLOW_PLANNING"), std::string::npos) << msg;
+  }
+  {
+    EnvVar v("POLYPART_ALLOW_REPARTITIONING", nullptr);
+    EXPECT_FALSE(rt::defaultAllowRepartitioning());
+    ::setenv("POLYPART_ALLOW_REPARTITIONING", "on", 1);
+    EXPECT_TRUE(rt::defaultAllowRepartitioning());
+    ::setenv("POLYPART_ALLOW_REPARTITIONING", "enable", 1);
+    std::string msg = message([] { (void)rt::defaultAllowRepartitioning(); });
+    EXPECT_NE(msg.find("POLYPART_ALLOW_REPARTITIONING"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(EnvKnobs, FuzzSeedPinsReplayAndRejectsGarbage) {
+  EnvVar v("POLYPART_FUZZ_SEED", nullptr);
+  EXPECT_FALSE(fuzz::seedPinned());
+  EXPECT_EQ(fuzz::baseSeed(7), u64{7});
+  ::setenv("POLYPART_FUZZ_SEED", "", 1);
+  EXPECT_FALSE(fuzz::seedPinned());  // empty = unset, like every other knob
+  ::setenv("POLYPART_FUZZ_SEED", "12345", 1);
+  EXPECT_TRUE(fuzz::seedPinned());
+  EXPECT_EQ(fuzz::baseSeed(7), u64{12345});
+  EXPECT_EQ(fuzz::caseCount(100), 1);
+  // The old parser silently ran the full sweep on a typo'd seed; now the
+  // typo is an error naming the variable.
+  ::setenv("POLYPART_FUZZ_SEED", "12x45", 1);
+  std::string msg = message([] { (void)fuzz::baseSeed(7); });
+  EXPECT_NE(msg.find("POLYPART_FUZZ_SEED"), std::string::npos) << msg;
+}
+
+TEST(EnvKnobs, TraceSessionRejectsUnwritablePaths) {
+  if constexpr (!trace::kTracingCompiledIn) GTEST_SKIP();
+  EnvVar v("POLYPART_TRACE", "/nonexistent-dir-polypart/trace.json");
+  std::string msg = message([] { trace::EnvTraceSession session; });
+  EXPECT_NE(msg.find("POLYPART_TRACE"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace polypart

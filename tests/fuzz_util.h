@@ -12,26 +12,24 @@
 // seed (replay mode) instead of its full sweep.
 
 #include <cstdint>
-#include <cstdlib>
 #include <string>
 
+#include "support/env.h"
 #include "support/rng.h"
 
 namespace polypart::fuzz {
 
-inline const char* seedEnv() { return std::getenv("POLYPART_FUZZ_SEED"); }
-
-/// True when POLYPART_FUZZ_SEED pins a single case for replay.
-inline bool seedPinned() { return seedEnv() != nullptr; }
+/// True when POLYPART_FUZZ_SEED pins a single case for replay (empty string
+/// counts as unset, matching every other POLYPART_* knob).
+inline bool seedPinned() {
+  return env::value("POLYPART_FUZZ_SEED").has_value();
+}
 
 /// The base seed: POLYPART_FUZZ_SEED when set, else the suite's default.
+/// A malformed value throws (support/env.h) instead of silently running the
+/// full sweep the caller thought they had pinned to one case.
 inline std::uint64_t baseSeed(std::uint64_t fallback) {
-  if (const char* env = seedEnv()) {
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(env, &end, 0);
-    if (end != env && *end == '\0') return v;
-  }
-  return fallback;
+  return env::u64Value("POLYPART_FUZZ_SEED").value_or(fallback);
 }
 
 /// Derives the seed of case `index` from the base seed (one SplitMix64

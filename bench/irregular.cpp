@@ -1,0 +1,271 @@
+// Extension bench: the may-access tier on irregular kernels (DESIGN.md
+// "May-access tier & inspector–executor").
+//
+// The paper's speedups come from affine kernels whose footprints the
+// polyhedral model slices exactly.  Irregular kernels (CSR spmv, BFS push,
+// histogram) demote to the may-access tier, and the runtime chooses per
+// launch between conservative whole-buffer sharing and the
+// inspector–executor.  This bench asks how much of the regular-kernel win
+// survives at 8-32 GPUs under each fallback:
+//
+//   - spmv on a banded matrix, iterated: the headline comparison.  The
+//     inspector's per-device footprint is the partition's band
+//     neighbourhood, so it must move strictly fewer peer bytes than
+//     whole-buffer sharing (which re-shares all of x with every device);
+//     repeat launches amortize the walk through the inspection cache.
+//   - BFS push and histogram: single-shot rows for the scatter and
+//     read-modify-write shapes (the histogram's serialized gather is the
+//     worst case — expect no scaling).
+//   - an affine saxpy yardstick at the paper's element count (TimingOnly,
+//     like the figure benches), the win the paper's tier gets on regular
+//     kernels.
+//
+// Unlike the figure benches this runs in Functional mode: the inspection
+// walk and may-access write tracking need real buffer contents.  The
+// simulated clock still advances through the same cost model, so modeled
+// seconds remain comparable.
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "bench/bench_util.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace polypart;
+
+ir::Module irregularModule() { return apps::buildIrregularModule(); }
+
+rt::RuntimeConfig baseConfig(int gpus, bool inspector) {
+  rt::RuntimeConfig cfg;
+  cfg.numGpus = gpus;
+  cfg.mode = sim::ExecutionMode::Functional;
+  cfg.machine = sim::MachineSpec::k80Node(gpus);
+  cfg.inspectorExecutor = inspector;
+  cfg.tracer = benchutil::envTracer();
+  return cfg;
+}
+
+struct Csr {
+  i64 n = 0;
+  std::vector<i64> rowPtr, colIdx;
+  std::vector<double> vals;
+  i64 nnz() const { return static_cast<i64>(colIdx.size()); }
+};
+
+Csr makeBandedCsr(i64 n, i64 band, Rng& rng) {
+  Csr a;
+  a.n = n;
+  a.rowPtr.push_back(0);
+  for (i64 r = 0; r < n; ++r) {
+    const i64 lo = r - band < 0 ? 0 : r - band;
+    const i64 hi = r + band + 1 > n ? n : r + band + 1;
+    for (i64 c = lo; c < hi; ++c) {
+      a.colIdx.push_back(c);
+      a.vals.push_back(rng.uniform() - 0.5);
+    }
+    a.rowPtr.push_back(a.nnz());
+  }
+  return a;
+}
+
+struct SpmvRun {
+  double seconds = 0;
+  double peerBytes = 0;
+  rt::RuntimeStats stats;
+};
+
+/// Iterated y = A*x with persistent device buffers (raw launches, so repeat
+/// launches can hit the inspection cache the way an iterative solver would).
+SpmvRun runSpmvLoop(const analysis::ApplicationModel& model,
+                    const ir::Module& mod, int gpus, bool inspector,
+                    const Csr& a, const std::vector<double>& x, int iters) {
+  rt::Runtime rt(baseConfig(gpus, inspector), model, mod);
+  const i64 n = a.n;
+  rt::VirtualBuffer* dRow = rt.malloc((n + 1) * 8);
+  rt::VirtualBuffer* dCol = rt.malloc(a.nnz() * 8);
+  rt::VirtualBuffer* dVal = rt.malloc(a.nnz() * 8);
+  rt::VirtualBuffer* dX = rt.malloc(n * 8);
+  rt::VirtualBuffer* dY = rt.malloc(n * 8);
+  rt.memcpy(dRow, a.rowPtr.data(), (n + 1) * 8, rt::MemcpyKind::HostToDevice);
+  rt.memcpy(dCol, a.colIdx.data(), a.nnz() * 8, rt::MemcpyKind::HostToDevice);
+  rt.memcpy(dVal, a.vals.data(), a.nnz() * 8, rt::MemcpyKind::HostToDevice);
+  rt.memcpy(dX, x.data(), n * 8, rt::MemcpyKind::HostToDevice);
+  const ir::Dim3 grid{(n + apps::kBlock1D - 1) / apps::kBlock1D, 1, 1};
+  const ir::Dim3 block{apps::kBlock1D, 1, 1};
+  for (int it = 0; it < iters; ++it) {
+    rt::LaunchArg args[] = {
+        rt::LaunchArg::ofInt(n),      rt::LaunchArg::ofInt(n),
+        rt::LaunchArg::ofInt(a.nnz()), rt::LaunchArg::ofBuffer(dRow),
+        rt::LaunchArg::ofBuffer(dCol), rt::LaunchArg::ofBuffer(dVal),
+        rt::LaunchArg::ofBuffer(dX),   rt::LaunchArg::ofBuffer(dY)};
+    rt.launch("spmv", grid, block, args);
+  }
+  rt.deviceSynchronize();
+  return SpmvRun{rt.elapsedSeconds(), rt.machineStats().bytesPeerToPeer,
+                 rt.stats()};
+}
+
+void tableSpmv(const analysis::ApplicationModel& model, const ir::Module& mod,
+               const Csr& a, const std::vector<double>& x, int iters) {
+  std::printf("\nTable A: banded CSR spmv, %lld rows, %lld nnz, %d launches\n",
+              static_cast<long long>(a.n), static_cast<long long>(a.nnz()),
+              iters);
+  std::printf("  %4s  %12s  %10s  %8s  %10s  %6s  %5s\n", "GPUs", "mode",
+              "time [ms]", "speedup", "peer [MB]", "walks", "hits");
+
+  const SpmvRun base =
+      runSpmvLoop(model, mod, 1, /*inspector=*/false, a, x, iters);
+  for (int gpus : {8, 16, 32}) {
+    for (bool inspector : {false, true}) {
+      const SpmvRun r = runSpmvLoop(model, mod, gpus, inspector, a, x, iters);
+      const double speedup = r.seconds > 0 ? base.seconds / r.seconds : 0.0;
+      std::printf("  %4d  %12s  %10.3f  %7.2fx  %10.2f  %6lld  %5lld\n", gpus,
+                  inspector ? "inspector" : "whole-buffer", r.seconds * 1e3,
+                  speedup, r.peerBytes / 1e6,
+                  static_cast<long long>(r.stats.inspectorRuns),
+                  static_cast<long long>(r.stats.inspectorCacheHits));
+      std::fflush(stdout);
+
+      json::Value& row = benchutil::benchRow();
+      row["workload"] = "spmv";
+      row["gpus"] = gpus;
+      row["mode"] = inspector ? "inspector" : "whole-buffer";
+      row["simSeconds"] = r.seconds;
+      row["baselineSeconds"] = base.seconds;
+      row["speedup"] = speedup;
+      row["bytesPeerToPeer"] = r.peerBytes;
+      row["inspectorRuns"] = r.stats.inspectorRuns;
+      row["inspectorCacheHits"] = r.stats.inspectorCacheHits;
+      row["inspectedElements"] = r.stats.inspectedElements;
+    }
+  }
+}
+
+void tableScatterRmw(const analysis::ApplicationModel& model,
+                     const ir::Module& mod, const Csr& g) {
+  const i64 n = g.n;
+  Rng rng(7);
+  const i64 nfront = n / 4 < 4096 ? n / 4 : 4096;
+  std::vector<i64> front(static_cast<std::size_t>(nfront));
+  for (auto& u : front) u = rng.range(0, n - 1);
+  const i64 nbins = 256;
+  std::vector<i64> keys(static_cast<std::size_t>(n));
+  for (auto& k : keys) k = rng.range(0, nbins - 1);
+
+  std::printf("\nTable B: scatter (BFS push) and RMW (histogram), one launch\n");
+  std::printf("  %4s  %10s  %12s  %10s  %10s\n", "GPUs", "kernel", "mode",
+              "time [ms]", "peer [MB]");
+  for (int gpus : {1, 8, 16, 32}) {
+    for (bool inspector : {false, true}) {
+      if (gpus == 1 && inspector) continue;
+      {
+        rt::Runtime rt(baseConfig(gpus, inspector), model, mod);
+        std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+        apps::runBfsPush(rt, n, g.nnz(), g.rowPtr.data(), g.colIdx.data(),
+                         nfront, front.data(), next.data());
+        std::printf("  %4d  %10s  %12s  %10.3f  %10.2f\n", gpus, "bfs_push",
+                    inspector ? "inspector" : "whole-buffer",
+                    rt.elapsedSeconds() * 1e3,
+                    rt.machineStats().bytesPeerToPeer / 1e6);
+        json::Value& row = benchutil::benchRow();
+        row["workload"] = "bfs_push";
+        row["gpus"] = gpus;
+        row["mode"] = inspector ? "inspector" : "whole-buffer";
+        row["simSeconds"] = rt.elapsedSeconds();
+        row["bytesPeerToPeer"] = rt.machineStats().bytesPeerToPeer;
+      }
+      {
+        rt::Runtime rt(baseConfig(gpus, inspector), model, mod);
+        std::vector<double> hist(static_cast<std::size_t>(nbins), 0.0);
+        apps::runHistogram(rt, n, nbins, keys.data(), hist.data());
+        std::printf("  %4d  %10s  %12s  %10.3f  %10.2f\n", gpus, "histogram",
+                    inspector ? "inspector" : "whole-buffer",
+                    rt.elapsedSeconds() * 1e3,
+                    rt.machineStats().bytesPeerToPeer / 1e6);
+        json::Value& row = benchutil::benchRow();
+        row["workload"] = "histogram";
+        row["gpus"] = gpus;
+        row["mode"] = inspector ? "inspector" : "whole-buffer";
+        row["simSeconds"] = rt.elapsedSeconds();
+        row["bytesPeerToPeer"] = rt.machineStats().bytesPeerToPeer;
+      }
+      std::fflush(stdout);
+    }
+  }
+}
+
+void tableAffineYardstick(int iters) {
+  // TimingOnly at the paper's problem scale: the affine tier needs no
+  // buffer contents, so the yardstick measures the modeled win the
+  // irregular tables are compared against.
+  const i64 n = i64{1} << 23;
+  std::printf("\nTable C: affine yardstick (saxpy, %lld elements)\n",
+              static_cast<long long>(n));
+  std::printf("  %4s  %10s  %8s\n", "GPUs", "time [ms]", "speedup");
+  auto run = [&](int gpus) {
+    rt::RuntimeConfig cfg;
+    cfg.numGpus = gpus;
+    cfg.mode = sim::ExecutionMode::TimingOnly;
+    cfg.machine = sim::MachineSpec::k80Node(gpus);
+    cfg.tracer = benchutil::envTracer();
+    rt::Runtime rt(cfg, benchutil::model(), benchutil::module());
+    for (int it = 0; it < iters; ++it)
+      apps::runSaxpy(rt, n, 2.0, nullptr, nullptr);
+    return rt.elapsedSeconds();
+  };
+  const double base = run(1);
+  for (int gpus : {8, 16, 32}) {
+    const double t = run(gpus);
+    const double speedup = t > 0 ? base / t : 0.0;
+    std::printf("  %4d  %10.3f  %7.2fx\n", gpus, t * 1e3, speedup);
+    json::Value& row = benchutil::benchRow();
+    row["workload"] = "saxpy";
+    row["gpus"] = gpus;
+    row["mode"] = "affine";
+    row["simSeconds"] = t;
+    row["baselineSeconds"] = base;
+    row["speedup"] = speedup;
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace polypart::benchutil;
+
+  openBenchReport("irregular");
+  printHeader("Extension: may-access tier on irregular kernels",
+              "beyond the paper; its model rejects non-affine subscripts");
+
+  const double scale = parseItersScale(argc, argv);
+  int iters = static_cast<int>(6 * scale);
+  if (iters < 2) iters = 2;
+  i64 n = static_cast<i64>(65536 * (scale < 1.0 ? scale : 1.0));
+  if (n < 512) n = 512;
+
+  ir::Module mod = irregularModule();
+  analysis::ApplicationModel model = analysis::analyzeModule(mod);
+
+  Rng rng(3);
+  Csr a = makeBandedCsr(n, 32, rng);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform() * 2 - 1;
+
+  tableSpmv(model, mod, a, x, iters);
+  tableScatterRmw(model, mod, a);
+  tableAffineYardstick(iters);
+
+  std::printf(
+      "\nExpectation: the inspector rows move strictly fewer peer bytes than\n"
+      "whole-buffer sharing on spmv (band footprints vs all of x) and\n"
+      "amortize the walk through cache hits.  BFS shows the tradeoff's other\n"
+      "side: a scattered frontier footprint decays into many small latency-\n"
+      "bound transfers, so bulk whole-buffer sharing can win there.  The\n"
+      "histogram's serialized gather does not scale in either mode, and\n"
+      "neither irregular kernel approaches the affine yardstick.\n");
+  return 0;
+}

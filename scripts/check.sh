@@ -3,12 +3,13 @@
 # and a TSan configuration covering the parallel resolution engine — the same
 # recipes .claude/skills/verify/SKILL.md documents, run back to back.
 #
-#   scripts/check.sh            # everything (tier-1, asan, tsan, bytecode, dataflow, repartition)
+#   scripts/check.sh            # everything (tier-1, asan, tsan, bytecode, dataflow, repartition, irregular)
 #   scripts/check.sh tier1      # just the default build + full test suite
 #   scripts/check.sh asan tsan  # just the sanitizer configurations
 #   scripts/check.sh bytecode   # sanitizer trees re-run under the bytecode tier
 #   scripts/check.sh dataflow   # sanitizer trees re-run with dataflow planning on
 #   scripts/check.sh repartition # sanitizer trees re-run with repartitioning allowed
+#   scripts/check.sh irregular  # sanitizer trees re-run with the inspector-executor on
 #
 # Each configuration uses its own build tree (build/, build-asan/, build-tsan/;
 # all gitignored).  TSan cannot be combined with ASan in one tree — the
@@ -18,7 +19,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 stages=("$@")
-[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan bytecode dataflow repartition)
+[ ${#stages[@]} -eq 0 ] && stages=(tier1 asan tsan bytecode dataflow repartition irregular)
 
 run() {
   echo
@@ -146,8 +147,36 @@ for stage in "${stages[@]}"; do
       run env POLYPART_ALLOW_REPARTITIONING=1 \
         ctest --test-dir build-tsan -j "$jobs" --output-on-failure -L fuzz
       ;;
+    irregular)
+      # May-access tier pass: POLYPART_INSPECTOR_EXECUTOR=1 flips the
+      # RuntimeConfig *default* (rt/runtime.cpp), so the irregular battery
+      # and the inspector fuzz suite re-run with the inspection walk, the
+      # footprint cache, and the tightened synchronization live on the
+      # launch path (configs that pin inspectorExecutor explicitly — the
+      # whole-buffer halves of the differential tests — still test what
+      # they name).  ASan/UBSan covers the host-side mirrors and range
+      # coalescing; under TSan the point is the inspector composing with
+      # the threaded resolution and pipelined launch engines.  Reuses the
+      # sanitizer trees the asan/tsan stages configure.
+      run cmake -B build-asan -S . -DPOLYPART_SANITIZE=address,undefined
+      run cmake --build build-asan -j "$jobs"
+      run env POLYPART_INSPECTOR_EXECUTOR=1 \
+        ctest --test-dir build-asan -j "$jobs" --output-on-failure \
+        -R 'Irregular|Dynamic|Analysis|EnvKnobs|Runtime|Sweep|Repartition|Checkpoint' \
+        -LE fuzz
+      run env POLYPART_INSPECTOR_EXECUTOR=1 \
+        ctest --test-dir build-asan -j "$jobs" --output-on-failure -L fuzz
+      run cmake -B build-tsan -S . -DPOLYPART_SANITIZE=thread
+      run cmake --build build-tsan -j "$jobs"
+      run env POLYPART_INSPECTOR_EXECUTOR=1 \
+        ctest --test-dir build-tsan -j "$jobs" --output-on-failure \
+        -R 'Irregular|InspectorFuzz|Pipelined|ParallelResolution|Runtime' \
+        -LE fuzz
+      run env POLYPART_INSPECTOR_EXECUTOR=1 \
+        ctest --test-dir build-tsan -j "$jobs" --output-on-failure -L fuzz
+      ;;
     *)
-      echo "unknown stage '$stage' (expected: tier1, asan, tsan, bytecode, dataflow, repartition)" >&2
+      echo "unknown stage '$stage' (expected: tier1, asan, tsan, bytecode, dataflow, repartition, irregular)" >&2
       exit 2
       ;;
   esac

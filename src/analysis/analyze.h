@@ -22,10 +22,15 @@
 
 namespace polypart::analysis {
 
-/// Fallback policies for kernels the purely static analysis rejects.  Both
-/// implement directions the paper's conclusion names explicitly: "this
-/// limitation can be remedied by using instrumentation to collect write
-/// patterns ... or annotation of the source code with write patterns".
+/// Default for AnalysisOptions::allowMayAccess:
+/// `!POLYPART_STRICT_AFFINE` (the env knob restores the paper's hard-reject
+/// behaviour for non-affine subscripts).
+bool defaultAllowMayAccess();
+
+/// Fallback policies for kernels the purely static analysis rejects.  The
+/// first two implement directions the paper's conclusion names explicitly:
+/// "this limitation can be remedied by using instrumentation to collect
+/// write patterns ... or annotation of the source code with write patterns".
 struct AnalysisOptions {
   /// Writes the polyhedral model cannot capture accurately (non-affine
   /// indices, non-affine guards, inexact projections, unprovable
@@ -37,6 +42,17 @@ struct AnalysisOptions {
   /// (requires a declared shape) — a sound over-approximation that forces a
   /// whole-buffer synchronization.
   bool allowWholeArrayReadFallback = false;
+  /// May-access tier (DESIGN.md "May-access tier & inspector–executor"):
+  /// when a subscript is not affine (indirect indexing — x[idx[i]]), demote
+  /// the access to a conservative MayAccess record instead of rejecting the
+  /// kernel.  May-reads over-approximate to the array's whole declared
+  /// extent (readMayAccess); may-writes drop their static map entirely and
+  /// the runtime derives the written ranges by observed execution
+  /// (writeMayAccess, Functional mode only).  Checked after the two opt-in
+  /// fallbacks above, so enabling those keeps their behaviour.  Scoped to
+  /// non-affine subscripts: inexact projections and unprovable injectivity
+  /// of otherwise-affine writes still reject.
+  bool allowMayAccess = defaultAllowMayAccess();
   /// User-supplied access maps overriding the extraction per (kernel
   /// argument); see KernelAnnotations.
   const class KernelAnnotations* annotations = nullptr;

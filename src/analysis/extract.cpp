@@ -5,9 +5,14 @@
 
 #include "analysis/analyze.h"
 #include "analysis/poly.h"
+#include "support/env.h"
 #include "support/error.h"
 
 namespace polypart::analysis {
+
+bool defaultAllowMayAccess() {
+  return !env::flag("POLYPART_STRICT_AFFINE", false);
+}
 
 namespace {
 
@@ -90,6 +95,11 @@ struct Extractor {
   // Arguments that fell back to the dynamic/conservative paths.
   std::set<std::size_t> instrumentedWriteArgs;
   std::set<std::size_t> wholeArrayReadArgs;
+  // Arguments demoted to the may-access tier, with the first demotion
+  // diagnostic per argument (ArrayModel::mayAccessWhy).
+  std::set<std::size_t> mayReadArgs;
+  std::set<std::size_t> mayWriteArgs;
+  std::map<std::size_t, std::string> mayAccessWhy;
 
   Extractor(const ir::Kernel& k, const AnalysisOptions& opts)
       : kernel(k), options(opts), paramSpace(modelParamSpace(k)) {
@@ -290,9 +300,15 @@ struct Extractor {
   }
 
   /// Handles an access the polyhedral model cannot represent: route it to
-  /// the instrumented-write or whole-array-read fallback when enabled,
-  /// otherwise reject the kernel (the paper's base behaviour).
-  void unsupportedAccess(std::size_t argIndex, bool isWrite, const char* why) {
+  /// the instrumented-write or whole-array-read fallback when enabled, then
+  /// to the may-access tier, otherwise reject the kernel (the paper's base
+  /// behaviour, restored by POLYPART_STRICT_AFFINE=1).  The diagnostic — in
+  /// both the demotion record and the rejection — names the argument and
+  /// the offending subscript expression.
+  void unsupportedAccess(std::size_t argIndex, bool isWrite,
+                         const std::string& why) {
+    const std::string diag =
+        why + " on '" + kernel.param(argIndex).name + "'";
     if (isWrite && options.allowInstrumentedWrites) {
       instrumentedWriteArgs.insert(argIndex);
       return;
@@ -302,8 +318,15 @@ struct Extractor {
       wholeArrayReadArgs.insert(argIndex);
       return;
     }
-    throw UnsupportedKernelError("kernel '" + kernel.name() + "': " + why +
-                                 " on '" + kernel.param(argIndex).name + "'");
+    if (options.allowMayAccess &&
+        (isWrite || !shapes[argIndex].empty())) {
+      // May-reads need a declared shape for the whole-extent box; may-writes
+      // demote unconditionally (the runtime observes the written ranges).
+      (isWrite ? mayWriteArgs : mayReadArgs).insert(argIndex);
+      mayAccessWhy.emplace(argIndex, diag);  // keep the first reason
+      return;
+    }
+    throw UnsupportedKernelError("kernel '" + kernel.name() + "': " + diag);
   }
 
   void recordAccessConj(std::size_t argIndex, bool isWrite, const Expr& flatIndex,
@@ -312,7 +335,9 @@ struct Extractor {
     auto flat = toPoly(flatIndex);
     if (!flat) {
       unsupportedAccess(argIndex, isWrite,
-                        isWrite ? "non-affine write index" : "non-affine read index");
+                        std::string(isWrite ? "non-affine write index '"
+                                            : "non-affine read index '") +
+                            flatIndex.str() + "'");
       return;
     }
     Poly indexPoly = flat->substituteBlockOffsets();
@@ -321,7 +346,8 @@ struct Extractor {
     for (const Poly& s : shapes[argIndex]) shape.push_back(s.substituteBlockOffsets());
     auto subs = delinearize(indexPoly, shape);
     if (!subs) {
-      unsupportedAccess(argIndex, isWrite, "cannot delinearize access");
+      unsupportedAccess(argIndex, isWrite,
+                        "cannot delinearize access '" + flatIndex.str() + "'");
       return;
     }
     const std::size_t rank = subs->size();
@@ -387,7 +413,8 @@ struct Extractor {
     for (std::size_t j = 0; j < rank; ++j) {
       LinExpr row;
       if (!polyToRow((*subs)[j], space, numLoops, row)) {
-        unsupportedAccess(argIndex, isWrite, "non-affine subscript");
+        unsupportedAccess(argIndex, isWrite,
+                          "non-affine subscript '" + flatIndex.str() + "'");
         return;
       }
       rel.add(Constraint{LinExpr::dim(space, DimId::out(j)) - row, true});
@@ -405,7 +432,9 @@ struct Extractor {
 
     if (isWrite && approx) {
       unsupportedAccess(argIndex, true,
-                        "write under a non-affine guard cannot be modeled accurately");
+                        "write of '" + flatIndex.str() +
+                            "' under a non-affine guard cannot be modeled "
+                            "accurately");
       return;
     }
 
@@ -660,6 +689,8 @@ KernelModel analyzeKernel(const ir::Kernel& kernel, const AnalysisOptions& optio
       // Arrays on a fallback path ignore their (partial) static accesses.
       if (acc.isWrite && ex.instrumentedWriteArgs.count(argIndex)) continue;
       if (!acc.isWrite && ex.wholeArrayReadArgs.count(argIndex)) continue;
+      if (acc.isWrite && ex.mayWriteArgs.count(argIndex)) continue;
+      if (!acc.isWrite && ex.mayReadArgs.count(argIndex)) continue;
       // Project out loop dimensions first.
       pset::Proj p = acc.rel.projectOut(DimKind::In, kGridDims, acc.numLoops);
       bool exact = p.exact && !acc.approximate;
@@ -761,6 +792,11 @@ KernelModel analyzeKernel(const ir::Kernel& kernel, const AnalysisOptions& optio
     am.writeInstrumented = ex.instrumentedWriteArgs.count(argIndex) > 0;
     if (am.writeInstrumented) am.write = Map(mapSpace);
     am.readWholeArray = ex.wholeArrayReadArgs.count(argIndex) > 0;
+    am.readMayAccess = ex.mayReadArgs.count(argIndex) > 0;
+    am.writeMayAccess = ex.mayWriteArgs.count(argIndex) > 0;
+    if (am.writeMayAccess) am.write = Map(mapSpace);
+    if (auto it = ex.mayAccessWhy.find(argIndex); it != ex.mayAccessWhy.end())
+      am.mayAccessWhy = it->second;
 
     // Shape rows over the parameter space.
     for (const Poly& s : ex.shapes[argIndex]) {
@@ -781,9 +817,11 @@ KernelModel analyzeKernel(const ir::Kernel& kernel, const AnalysisOptions& optio
       am.shape.push_back(std::move(row));
     }
 
-    // Whole-array read fallback: the read set is the full declared extent,
-    // independent of the partition (sound over-approximation).
-    if (am.readWholeArray) {
+    // Whole-array read fallback and may-access reads: the read set is the
+    // full declared extent, independent of the partition (sound
+    // over-approximation; the inspector–executor may tighten may-access
+    // reads per launch at runtime).
+    if (am.readWholeArray || am.readMayAccess) {
       PP_ASSERT_MSG(!am.shape.empty(), "whole-array fallback requires a shape");
       BasicSet box(mapSpace);
       for (std::size_t j = 0; j < am.shape.size(); ++j) {
@@ -807,16 +845,19 @@ KernelModel analyzeKernel(const ir::Kernel& kernel, const AnalysisOptions& optio
         PP_ASSERT_MSG(r->space() == mapSpace,
                       "annotated read map has the wrong space");
         am.read = *r;
+        am.readMayAccess = false;
       }
       if (const pset::Map* w = options.annotations->writeFor(argIndex)) {
         PP_ASSERT_MSG(w->space() == mapSpace,
                       "annotated write map has the wrong space");
         am.write = *w;
         am.writeInstrumented = false;
+        am.writeMayAccess = false;
       }
     }
 
-    if (am.hasReads() || am.hasWrites() || am.writeInstrumented)
+    if (am.hasReads() || am.hasWrites() || am.writeInstrumented ||
+        am.writeMayAccess)
       model.arrays.push_back(std::move(am));
   }
 

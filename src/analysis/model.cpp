@@ -150,6 +150,9 @@ json::Value KernelModel::toJson() const {
     av["write"] = mapToJson(a.write);
     av["write_instrumented"] = a.writeInstrumented;
     av["read_whole_array"] = a.readWholeArray;
+    av["read_may_access"] = a.readMayAccess;
+    av["write_may_access"] = a.writeMayAccess;
+    if (!a.mayAccessWhy.empty()) av["may_access_why"] = a.mayAccessWhy;
     as.push(std::move(av));
   }
   out["arrays"] = std::move(as);
@@ -189,6 +192,13 @@ KernelModel KernelModel::fromJson(const json::Value& v) {
     a.write = mapFromJson(av.at("write"), paramSpace);
     a.writeInstrumented = av.at("write_instrumented").asBool();
     a.readWholeArray = av.at("read_whole_array").asBool();
+    // May-access fields are absent in pre-tier model files (still loadable).
+    if (const json::Value* rm = av.asObject().find("read_may_access"))
+      a.readMayAccess = rm->asBool();
+    if (const json::Value* wm = av.asObject().find("write_may_access"))
+      a.writeMayAccess = wm->asBool();
+    if (const json::Value* why = av.asObject().find("may_access_why"))
+      a.mayAccessWhy = why->asString();
     m.arrays.push_back(std::move(a));
   }
   return m;

@@ -64,6 +64,17 @@ struct ArrayModel {
   bool writeInstrumented = false;
   /// The read map is the array's whole extent (conservative fallback).
   bool readWholeArray = false;
+  /// May-access tier (indirect subscripts, AnalysisOptions::allowMayAccess).
+  /// readMayAccess: `read` is the whole-extent over-approximation of an
+  /// unprovable read; the runtime may tighten it per launch with the
+  /// inspector–executor.  writeMayAccess: `write` is empty and the runtime
+  /// derives the written ranges from observed execution, merging
+  /// owner-writes in ascending device order (Functional mode only).
+  bool readMayAccess = false;
+  bool writeMayAccess = false;
+  /// Demotion diagnostic: why the access left the affine tier ("<reason> on
+  /// '<param>'", naming the subscript expression).  Empty without demotion.
+  std::string mayAccessWhy;
 
   bool hasReads() const { return !read.isEmpty(); }
   bool hasWrites() const { return !write.isEmpty(); }

@@ -252,4 +252,137 @@ void referenceMatmul(Machine& m, i64 n, const double* a, const double* b,
   m.free(dc);
 }
 
+// ===== CSR spmv =================================================================
+
+void runSpmv(Runtime& rt, const CsrMatrix& a, const double* x, double* y) {
+  VirtualBuffer* drp = rt.malloc((a.nrows + 1) * kElem);
+  VirtualBuffer* dci = rt.malloc(a.nnz * kElem);
+  VirtualBuffer* dva = rt.malloc(a.nnz * kElem);
+  VirtualBuffer* dx = rt.malloc(a.ncols * kElem);
+  VirtualBuffer* dy = rt.malloc(a.nrows * kElem);
+  rt.memcpy(drp, a.rowPtr, (a.nrows + 1) * kElem, MemcpyKind::HostToDevice);
+  rt.memcpy(dci, a.colIdx, a.nnz * kElem, MemcpyKind::HostToDevice);
+  rt.memcpy(dva, a.vals, a.nnz * kElem, MemcpyKind::HostToDevice);
+  rt.memcpy(dx, x, a.ncols * kElem, MemcpyKind::HostToDevice);
+  LaunchArg args[] = {LaunchArg::ofInt(a.nrows),   LaunchArg::ofInt(a.ncols),
+                      LaunchArg::ofInt(a.nnz),     LaunchArg::ofBuffer(drp),
+                      LaunchArg::ofBuffer(dci),    LaunchArg::ofBuffer(dva),
+                      LaunchArg::ofBuffer(dx),     LaunchArg::ofBuffer(dy)};
+  rt.launch("spmv", Dim3{ceilBlocks(a.nrows, kBlock1D), 1, 1},
+            Dim3{kBlock1D, 1, 1}, args);
+  rt.memcpy(y, dy, a.nrows * kElem, MemcpyKind::DeviceToHost);
+  rt.deviceSynchronize();
+  for (VirtualBuffer* b : {drp, dci, dva, dx, dy}) rt.free(b);
+}
+
+void referenceSpmv(Machine& m, const CsrMatrix& a, const double* x, double* y) {
+  DevBuffer drp = m.alloc(0, (a.nrows + 1) * kElem);
+  DevBuffer dci = m.alloc(0, a.nnz * kElem);
+  DevBuffer dva = m.alloc(0, a.nnz * kElem);
+  DevBuffer dx = m.alloc(0, a.ncols * kElem);
+  DevBuffer dy = m.alloc(0, a.nrows * kElem);
+  m.copyHostToDevice(drp, 0, a.rowPtr, (a.nrows + 1) * kElem);
+  m.copyHostToDevice(dci, 0, a.colIdx, a.nnz * kElem);
+  m.copyHostToDevice(dva, 0, a.vals, a.nnz * kElem);
+  m.copyHostToDevice(dx, 0, x, a.ncols * kElem);
+  m.synchronizeAll();  // cudaMemcpy is blocking
+  ir::KernelPtr k = buildCsrSpmv();
+  KernelArg args[] = {KernelArg::ofInt(a.nrows),   KernelArg::ofInt(a.ncols),
+                      KernelArg::ofInt(a.nnz),     KernelArg::ofBuffer(drp),
+                      KernelArg::ofBuffer(dci),    KernelArg::ofBuffer(dva),
+                      KernelArg::ofBuffer(dx),     KernelArg::ofBuffer(dy)};
+  m.launchKernel(0, *k,
+                 {{ceilBlocks(a.nrows, kBlock1D), 1, 1}, {kBlock1D, 1, 1}},
+                 args);
+  m.synchronizeAll();
+  m.copyDeviceToHost(y, dy, 0, a.nrows * kElem);
+  m.synchronizeAll();
+  for (DevBuffer b : {drp, dci, dva, dx, dy}) m.free(b);
+}
+
+// ===== BFS push sweep ===========================================================
+
+void runBfsPush(Runtime& rt, i64 nnodes, i64 nedges, const i64* rowPtr,
+                const i64* colIdx, i64 nfront, const i64* front,
+                double* nextInOut) {
+  VirtualBuffer* dfr = rt.malloc(nfront * kElem);
+  VirtualBuffer* drp = rt.malloc((nnodes + 1) * kElem);
+  VirtualBuffer* dci = rt.malloc(nedges * kElem);
+  VirtualBuffer* dnx = rt.malloc(nnodes * kElem);
+  rt.memcpy(dfr, front, nfront * kElem, MemcpyKind::HostToDevice);
+  rt.memcpy(drp, rowPtr, (nnodes + 1) * kElem, MemcpyKind::HostToDevice);
+  rt.memcpy(dci, colIdx, nedges * kElem, MemcpyKind::HostToDevice);
+  rt.memcpy(dnx, nextInOut, nnodes * kElem, MemcpyKind::HostToDevice);
+  LaunchArg args[] = {LaunchArg::ofInt(nfront), LaunchArg::ofInt(nnodes),
+                      LaunchArg::ofInt(nedges), LaunchArg::ofBuffer(dfr),
+                      LaunchArg::ofBuffer(drp), LaunchArg::ofBuffer(dci),
+                      LaunchArg::ofBuffer(dnx)};
+  rt.launch("bfs_push", Dim3{ceilBlocks(nfront, kBlock1D), 1, 1},
+            Dim3{kBlock1D, 1, 1}, args);
+  rt.memcpy(nextInOut, dnx, nnodes * kElem, MemcpyKind::DeviceToHost);
+  rt.deviceSynchronize();
+  for (VirtualBuffer* b : {dfr, drp, dci, dnx}) rt.free(b);
+}
+
+void referenceBfsPush(Machine& m, i64 nnodes, i64 nedges, const i64* rowPtr,
+                      const i64* colIdx, i64 nfront, const i64* front,
+                      double* nextInOut) {
+  DevBuffer dfr = m.alloc(0, nfront * kElem);
+  DevBuffer drp = m.alloc(0, (nnodes + 1) * kElem);
+  DevBuffer dci = m.alloc(0, nedges * kElem);
+  DevBuffer dnx = m.alloc(0, nnodes * kElem);
+  m.copyHostToDevice(dfr, 0, front, nfront * kElem);
+  m.copyHostToDevice(drp, 0, rowPtr, (nnodes + 1) * kElem);
+  m.copyHostToDevice(dci, 0, colIdx, nedges * kElem);
+  m.copyHostToDevice(dnx, 0, nextInOut, nnodes * kElem);
+  m.synchronizeAll();  // cudaMemcpy is blocking
+  ir::KernelPtr k = buildBfsPush();
+  KernelArg args[] = {KernelArg::ofInt(nfront), KernelArg::ofInt(nnodes),
+                      KernelArg::ofInt(nedges), KernelArg::ofBuffer(dfr),
+                      KernelArg::ofBuffer(drp), KernelArg::ofBuffer(dci),
+                      KernelArg::ofBuffer(dnx)};
+  m.launchKernel(0, *k, {{ceilBlocks(nfront, kBlock1D), 1, 1}, {kBlock1D, 1, 1}},
+                 args);
+  m.synchronizeAll();
+  m.copyDeviceToHost(nextInOut, dnx, 0, nnodes * kElem);
+  m.synchronizeAll();
+  for (DevBuffer b : {dfr, drp, dci, dnx}) m.free(b);
+}
+
+// ===== Histogram ================================================================
+
+void runHistogram(Runtime& rt, i64 n, i64 nbins, const i64* keys,
+                  double* histInOut) {
+  VirtualBuffer* dk = rt.malloc(n * kElem);
+  VirtualBuffer* dh = rt.malloc(nbins * kElem);
+  rt.memcpy(dk, keys, n * kElem, MemcpyKind::HostToDevice);
+  rt.memcpy(dh, histInOut, nbins * kElem, MemcpyKind::HostToDevice);
+  LaunchArg args[] = {LaunchArg::ofInt(n), LaunchArg::ofInt(nbins),
+                      LaunchArg::ofBuffer(dk), LaunchArg::ofBuffer(dh)};
+  rt.launch("histogram", Dim3{ceilBlocks(n, kBlock1D), 1, 1},
+            Dim3{kBlock1D, 1, 1}, args);
+  rt.memcpy(histInOut, dh, nbins * kElem, MemcpyKind::DeviceToHost);
+  rt.deviceSynchronize();
+  rt.free(dk);
+  rt.free(dh);
+}
+
+void referenceHistogram(Machine& m, i64 n, i64 nbins, const i64* keys,
+                        double* histInOut) {
+  DevBuffer dk = m.alloc(0, n * kElem);
+  DevBuffer dh = m.alloc(0, nbins * kElem);
+  m.copyHostToDevice(dk, 0, keys, n * kElem);
+  m.copyHostToDevice(dh, 0, histInOut, nbins * kElem);
+  m.synchronizeAll();  // cudaMemcpy is blocking
+  ir::KernelPtr k = buildHistogram();
+  KernelArg args[] = {KernelArg::ofInt(n), KernelArg::ofInt(nbins),
+                      KernelArg::ofBuffer(dk), KernelArg::ofBuffer(dh)};
+  m.launchKernel(0, *k, {{ceilBlocks(n, kBlock1D), 1, 1}, {kBlock1D, 1, 1}}, args);
+  m.synchronizeAll();
+  m.copyDeviceToHost(histInOut, dh, 0, nbins * kElem);
+  m.synchronizeAll();
+  m.free(dk);
+  m.free(dh);
+}
+
 }  // namespace polypart::apps

@@ -50,4 +50,36 @@ void runMatmul(rt::Runtime& rt, i64 n, const double* a, const double* b, double*
 void referenceMatmul(sim::Machine& m, i64 n, const double* a, const double* b,
                      double* c);
 
+// -- irregular workloads (may-access tier) --------------------------------------
+
+/// A CSR matrix plus dense operand dimensions (host-side views).
+struct CsrMatrix {
+  i64 nrows = 0;
+  i64 ncols = 0;
+  i64 nnz = 0;
+  const i64* rowPtr = nullptr;  // nrows + 1 entries
+  const i64* colIdx = nullptr;  // nnz entries
+  const double* vals = nullptr; // nnz entries
+};
+
+/// y = A * x for a CSR matrix A.
+void runSpmv(rt::Runtime& rt, const CsrMatrix& a, const double* x, double* y);
+void referenceSpmv(sim::Machine& m, const CsrMatrix& a, const double* x,
+                   double* y);
+
+/// One BFS push sweep over `front` (nfront node ids): nextInOut[v] = 1.0 for
+/// every neighbour v of a frontier node.
+void runBfsPush(rt::Runtime& rt, i64 nnodes, i64 nedges, const i64* rowPtr,
+                const i64* colIdx, i64 nfront, const i64* front,
+                double* nextInOut);
+void referenceBfsPush(sim::Machine& m, i64 nnodes, i64 nedges, const i64* rowPtr,
+                      const i64* colIdx, i64 nfront, const i64* front,
+                      double* nextInOut);
+
+/// histInOut[keys[i]] += 1.0 over all n keys (bins in [0, nbins)).
+void runHistogram(rt::Runtime& rt, i64 n, i64 nbins, const i64* keys,
+                  double* histInOut);
+void referenceHistogram(sim::Machine& m, i64 n, i64 nbins, const i64* keys,
+                        double* histInOut);
+
 }  // namespace polypart::apps

@@ -160,4 +160,82 @@ ir::Module buildBenchmarkModule() {
   return m;
 }
 
+KernelPtr buildCsrSpmv() {
+  KernelBuilder b("spmv");
+  auto nrows = b.scalar("nrows", Type::I64);
+  auto ncols = b.scalar("ncols", Type::I64);
+  auto nnz = b.scalar("nnz", Type::I64);
+  auto rowPtr = b.array("row_ptr", Type::I64, {nrows + iconst(1)});
+  auto colIdx = b.array("col_idx", Type::I64, {nnz});
+  auto vals = b.array("vals", Type::F64, {nnz});
+  auto x = b.array("x", Type::F64, {ncols});
+  auto y = b.array("y", Type::F64, {nrows});
+
+  auto r = b.let("r", b.globalId(Axis::X));
+  b.iff(lt(r, nrows), [&] {
+    auto lo = b.let("lo", b.load(rowPtr, r));
+    auto hi = b.let("hi", b.load(rowPtr, r + iconst(1)));
+    auto acc = b.let("acc", fconst(0.0));
+    // Dynamic loop bounds: the analysis clamps j's accesses to the declared
+    // extents (inexact whole-array reads of vals/col_idx); the gather
+    // x[col_idx[j]] demotes x to the may-access tier.
+    b.forLoop("j", lo, hi, [&](ExprPtr j) {
+      b.assign(acc, acc + b.load(vals, j) * b.load(x, b.load(colIdx, j)));
+    });
+    b.store(y, r, acc);
+  });
+  return b.build();
+}
+
+KernelPtr buildBfsPush() {
+  KernelBuilder b("bfs_push");
+  auto nfront = b.scalar("nfront", Type::I64);
+  auto nnodes = b.scalar("nnodes", Type::I64);
+  auto nedges = b.scalar("nedges", Type::I64);
+  auto front = b.array("front", Type::I64, {nfront});
+  auto rowPtr = b.array("row_ptr", Type::I64, {nnodes + iconst(1)});
+  auto colIdx = b.array("col_idx", Type::I64, {nedges});
+  auto next = b.array("next", Type::F64, {nnodes});
+
+  auto t = b.let("t", b.globalId(Axis::X));
+  b.iff(lt(t, nfront), [&] {
+    auto u = b.let("u", b.load(front, t));
+    // row_ptr indexed through the frontier: a may-access read the inspector
+    // tightens to the frontier nodes' rows.
+    auto lo = b.let("lo", b.load(rowPtr, u));
+    auto hi = b.let("hi", b.load(rowPtr, u + iconst(1)));
+    b.forLoop("j", lo, hi, [&](ExprPtr j) {
+      // Scatter: a may-access write (overlaps between partitions are legal —
+      // every writer stores the same 1.0).
+      b.store(next, b.load(colIdx, j), fconst(1.0));
+    });
+  });
+  return b.build();
+}
+
+KernelPtr buildHistogram() {
+  KernelBuilder b("histogram");
+  auto n = b.scalar("n", Type::I64);
+  auto nbins = b.scalar("nbins", Type::I64);
+  auto keys = b.array("keys", Type::I64, {n});
+  auto hist = b.array("hist", Type::F64, {nbins});
+
+  auto i = b.let("i", b.globalId(Axis::X));
+  b.iff(lt(i, n), [&] {
+    auto k = b.let("k", b.load(keys, i));
+    // Data-dependent read-modify-write: hist demotes to may-access on both
+    // sides, which forces the serialized pre-partition gather path.
+    b.store(hist, k, b.load(hist, k) + fconst(1.0));
+  });
+  return b.build();
+}
+
+ir::Module buildIrregularModule() {
+  ir::Module m;
+  m.addKernel(buildCsrSpmv());
+  m.addKernel(buildBfsPush());
+  m.addKernel(buildHistogram());
+  return m;
+}
+
 }  // namespace polypart::apps

@@ -32,4 +32,31 @@ ir::KernelPtr buildMatmul();
 /// All benchmark kernels as one module (the "device code" of the app suite).
 ir::Module buildBenchmarkModule();
 
+// -- irregular workloads (may-access tier; DESIGN.md "May-access tier") -------
+
+/// CSR sparse matrix-vector product: y[r] = sum_j vals[j] * x[col_idx[j]]
+/// over row r's nonzeros.  The gather x[col_idx[j]] is non-affine, so x
+/// demotes to a may-access read (the inspector–executor target); vals and
+/// col_idx reads over-approximate to their whole extent (dynamic loop
+/// bounds); y stays affine and injective.
+/// Args: (nrows, ncols, nnz, row_ptr[nrows+1], col_idx[nnz], vals[nnz],
+///        x[ncols], y[nrows]).
+ir::KernelPtr buildCsrSpmv();
+
+/// BFS/PageRank-style push sweep: for each frontier node u = front[t], mark
+/// next[v] = 1 for every neighbour v.  rowptr is indexed through front
+/// (may-access read) and the scatter next[col_idx[j]] is a may-access write.
+/// Args: (nfront, nnodes, nedges, front[nfront], row_ptr[nnodes+1],
+///        col_idx[nedges], next[nnodes]).
+ir::KernelPtr buildBfsPush();
+
+/// Histogram with data-dependent bins: hist[keys[i]] += 1.  The read and
+/// write of hist are both non-affine — a read-modify-write may-access array,
+/// executed with pre-partition gathers.  Args: (n, nbins, keys[n],
+/// hist[nbins]).
+ir::KernelPtr buildHistogram();
+
+/// The three irregular kernels as one module.
+ir::Module buildIrregularModule();
+
 }  // namespace polypart::apps

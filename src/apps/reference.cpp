@@ -88,4 +88,33 @@ void refMatmul(i64 n, std::span<const double> a, std::span<const double> b,
   }
 }
 
+void refSpmv(std::span<const i64> rowPtr, std::span<const i64> colIdx,
+             std::span<const double> vals, std::span<const double> x,
+             std::span<double> y) {
+  PP_ASSERT(rowPtr.size() == y.size() + 1);
+  for (std::size_t r = 0; r < y.size(); ++r) {
+    double acc = 0.0;
+    for (i64 j = rowPtr[r]; j < rowPtr[r + 1]; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      acc = acc + vals[sj] * x[static_cast<std::size_t>(colIdx[sj])];
+    }
+    y[r] = acc;
+  }
+}
+
+void refBfsPush(std::span<const i64> rowPtr, std::span<const i64> colIdx,
+                std::span<const i64> front, std::span<double> next) {
+  for (const i64 u : front) {
+    const std::size_t su = static_cast<std::size_t>(u);
+    PP_ASSERT(su + 1 < rowPtr.size());
+    for (i64 j = rowPtr[su]; j < rowPtr[su + 1]; ++j)
+      next[static_cast<std::size_t>(colIdx[static_cast<std::size_t>(j)])] = 1.0;
+  }
+}
+
+void refHistogram(std::span<const i64> keys, std::span<double> hist) {
+  for (const i64 k : keys)
+    hist[static_cast<std::size_t>(k)] = hist[static_cast<std::size_t>(k)] + 1.0;
+}
+
 }  // namespace polypart::apps

@@ -34,4 +34,18 @@ void refNBodyUpdate(i64 n, double dt, std::span<double> px, std::span<double> py
 void refMatmul(i64 n, std::span<const double> a, std::span<const double> b,
                std::span<double> c);
 
+/// CSR sparse matvec: y[r] = sum over row r of vals[j] * x[colIdx[j]],
+/// nonzeros in j-ascending order (the accumulation order the IR kernel uses).
+void refSpmv(std::span<const i64> rowPtr, std::span<const i64> colIdx,
+             std::span<const double> vals, std::span<const double> x,
+             std::span<double> y);
+
+/// BFS push sweep: next[colIdx[j]] = 1.0 for every edge j of every frontier
+/// node front[t].
+void refBfsPush(std::span<const i64> rowPtr, std::span<const i64> colIdx,
+                std::span<const i64> front, std::span<double> next);
+
+/// Histogram: hist[keys[i]] += 1.0, keys in ascending i order.
+void refHistogram(std::span<const i64> keys, std::span<double> hist);
+
 }  // namespace polypart::apps

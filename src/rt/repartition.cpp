@@ -171,7 +171,10 @@ RepartitionResult Runtime::migrateKernel(KernelEntry& ke,
   std::vector<Assign> flips;
 
   for (const ArrayModel& wa : ke.model->arrays) {
-    if (!wa.hasWrites() || wa.writeInstrumented) continue;
+    // May-access writes have no static map (hasWrites() is already false);
+    // their bytes stay where the observed-write tracker updates put them and
+    // the next launch's reads resolve reactively.
+    if (!wa.hasWrites() || wa.writeInstrumented || wa.writeMayAccess) continue;
     VirtualBuffer* buf = ke.lastBuffers[wa.argIndex];
     if (buf == nullptr) continue;
     std::optional<std::vector<i64>> dims =

@@ -50,6 +50,10 @@ bool defaultAllowRepartitioning() {
   return env::flag("POLYPART_ALLOW_REPARTITIONING", false);
 }
 
+bool defaultInspectorExecutor() {
+  return env::flag("POLYPART_INSPECTOR_EXECUTOR", false);
+}
+
 namespace {
 
 /// Storage element size: buffers hold 8-byte elements (ir::Type::I64/F64).
@@ -98,6 +102,14 @@ void addStatsDiff(RuntimeStats& into, const RuntimeStats& before,
   into.restoreCopies += after.restoreCopies - before.restoreCopies;
   into.bytesRestored += after.bytesRestored - before.bytesRestored;
   into.bytesAdopted += after.bytesAdopted - before.bytesAdopted;
+  into.mayAccessLaunches += after.mayAccessLaunches - before.mayAccessLaunches;
+  into.inspectorRuns += after.inspectorRuns - before.inspectorRuns;
+  into.inspectorCacheHits += after.inspectorCacheHits - before.inspectorCacheHits;
+  into.inspectorCacheMisses +=
+      after.inspectorCacheMisses - before.inspectorCacheMisses;
+  into.inspectorCacheInvalidations +=
+      after.inspectorCacheInvalidations - before.inspectorCacheInvalidations;
+  into.inspectedElements += after.inspectedElements - before.inspectedElements;
   into.resolutionTasks += after.resolutionTasks - before.resolutionTasks;
   into.resolutionWallSeconds +=
       after.resolutionWallSeconds - before.resolutionWallSeconds;
@@ -211,6 +223,26 @@ Runtime::Runtime(RuntimeConfig config, analysis::ApplicationModel model,
     for (Enumerator& e : ke.enumerators) {
       e.coalesce = config_.coalesceEnumerators;
       e.tier = config_.enumeratorTier;
+    }
+    // May-access tier metadata.  An arg is either instrumented or
+    // may-written, never both (the analysis picks instrumented first), and
+    // RMW may-args are excluded from the inspectable set: the pre-partition
+    // gather already moves their whole extent.
+    for (const ArrayModel& a : km.arrays) {
+      if (a.writeMayAccess) {
+        ke.mayWriteArgs.push_back(a.argIndex);
+        if (a.hasReads()) ke.rmwMayArgs.push_back(a.argIndex);
+      } else if (a.readMayAccess) {
+        ke.mayReadArgs.push_back(a.argIndex);
+      }
+    }
+    ke.enumIsMayRead.assign(ke.enumerators.size(), 0);
+    for (std::size_t ei = 0; ei < ke.enumerators.size(); ++ei) {
+      const Enumerator& e = ke.enumerators[ei];
+      if (e.isWrite()) continue;
+      if (std::find(ke.mayReadArgs.begin(), ke.mayReadArgs.end(),
+                    e.argIndex()) != ke.mayReadArgs.end())
+        ke.enumIsMayRead[ei] = 1;
     }
   };
   if (pool_) {
@@ -364,6 +396,14 @@ void Runtime::free(VirtualBuffer* buf) {
       if (!planners_.empty())
         planners_[static_cast<std::size_t>(buf->tenant())]->reset();
       for (auto& [name, ke] : kernels_) {
+        // Cached inspections key on buffer identity + content version; a
+        // reallocation can reuse both, so footprints that referenced the
+        // freed buffer must not survive it.
+        std::erase_if(ke.inspections,
+                      [&](const std::shared_ptr<const InspectedFootprints>& f) {
+                        return std::find(f->buffers.begin(), f->buffers.end(),
+                                         buf) != f->buffers.end();
+                      });
         if (!ke.hasLastLaunch) continue;
         if (std::find(ke.lastBuffers.begin(), ke.lastBuffers.end(), buf) !=
             ke.lastBuffers.end())
@@ -650,6 +690,10 @@ void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
   ResolutionTimer timer(*this);
   trace::Span span(config_.tracer, "runtime", "sync-reads");
   std::unique_ptr<TransferPlan> xferPlan = makeTransferPlan();
+  // While the inspector is active, the whole-extent enumerators of
+  // inspectable may-read args are skipped: synchronizeMayAccessReads()
+  // replaces them with the exact inspected footprints.
+  const bool inspector = inspectorActiveFor(ke);
   // Shared-copy bookkeeping scratch; call-local so the serial and parallel
   // engines have the same per-task-ownership shape (no cross-call aliasing).
   std::vector<std::pair<i64, i64>> sharerScratch;
@@ -663,6 +707,7 @@ void Runtime::synchronizeReads(KernelEntry& ke, const LaunchConfig& cfg,
     for (std::size_t ei = 0; ei < ke.enumerators.size(); ++ei) {
       const Enumerator& e = ke.enumerators[ei];
       if (e.isWrite()) continue;
+      if (inspector && ke.enumIsMayRead[ei] != 0) continue;
       VirtualBuffer* vb = args[e.argIndex()].buffer;
       PP_ASSERT(vb != nullptr);
       codegen::EnumInfo info;
@@ -773,6 +818,249 @@ void Runtime::updateTrackers(KernelEntry& ke, const LaunchConfig& cfg,
                      sim::kSimHostTrack, simStart, cost, {{"gpu", gpu}});
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// May-access tier: inspector–executor (DESIGN.md "May-access tier").
+// ---------------------------------------------------------------------------
+
+bool Runtime::inspectorActiveFor(const KernelEntry& ke) const {
+  return config_.inspectorExecutor && !ke.mayReadArgs.empty();
+}
+
+std::shared_ptr<const Runtime::InspectedFootprints> Runtime::inspectFootprints(
+    KernelEntry& ke, const LaunchConfig& cfg, std::span<const LaunchArg> args,
+    std::span<const i64> scalars) {
+  PP_ASSERT_MSG(machine_->mode() == sim::ExecutionMode::Functional,
+                "inspection walk without functional buffer contents");
+  ResolutionTimer timer(*this);
+  trace::Span span(config_.tracer, "runtime", "inspect:", ke.model->kernel);
+
+  // Cache probe.  The geometry/scalars/buffer-identity/weights tuple is the
+  // key; the content versions decide freshness.  Content versions move only
+  // on Tracker::update() — which both engines perform in byte-identical
+  // sequences — so hit/miss/invalidation counts are knob-invariant.  Only
+  // *read* arguments enter the freshness vector: a write-only output cannot
+  // influence the walk, and skipping its version is what lets the repeat
+  // launch of an iterative kernel hit the cache despite writing its output.
+  std::vector<const VirtualBuffer*> bufs;
+  std::vector<u64> versions;
+  for (std::size_t ai = 0; ai < args.size(); ++ai) {
+    if (args[ai].buffer == nullptr) continue;
+    bufs.push_back(args[ai].buffer);
+    const analysis::ArrayModel* am = ke.model->arrayFor(ai);
+    if (am != nullptr && am->hasReads())
+      versions.push_back(args[ai].buffer->tracker().contentVersion());
+  }
+  auto sameKey = [&](const InspectedFootprints& f) {
+    return f.cfg.grid.x == cfg.grid.x && f.cfg.grid.y == cfg.grid.y &&
+           f.cfg.grid.z == cfg.grid.z && f.cfg.block.x == cfg.block.x &&
+           f.cfg.block.y == cfg.block.y && f.cfg.block.z == cfg.block.z &&
+           f.scalars.size() == scalars.size() &&
+           std::equal(f.scalars.begin(), f.scalars.end(), scalars.begin()) &&
+           f.buffers == bufs && f.weights == ke.partitioning.weights;
+  };
+  for (auto it = ke.inspections.begin(); it != ke.inspections.end(); ++it) {
+    if (!sameKey(**it)) continue;
+    if ((*it)->contentVersions == versions) {
+      ++stats_.inspectorCacheHits;
+      trace::instant(config_.tracer, "cache", "inspection-hit");
+      return *it;
+    }
+    // Stale: an inspected buffer's content changed since the walk.
+    ++stats_.inspectorCacheInvalidations;
+    trace::instant(config_.tracer, "cache", "inspection-invalidate");
+    ke.inspections.erase(it);
+    break;
+  }
+  ++stats_.inspectorCacheMisses;
+
+  // Host mirrors of every array argument, gathered segment-wise from the
+  // owning device instances (undefined segments stay zero).  The walk runs
+  // all partitions on these *shared* mirrors in ascending device order, so
+  // stores of earlier partitions are visible to later ones — the same
+  // sequential-interpreter semantics the launch itself reproduces.
+  std::vector<std::vector<i64>> mirrors(bufs.size());
+  std::vector<ir::ArgValue> argvals;
+  argvals.reserve(args.size() + 6);
+  {
+    std::size_t bi = 0;
+    for (const LaunchArg& a : args) {
+      if (a.buffer == nullptr) {
+        argvals.push_back(ir::ArgValue{a.scalar, nullptr, 0});
+        continue;
+      }
+      std::vector<i64>& m = mirrors[bi++];
+      m.assign(static_cast<std::size_t>(a.buffer->bytes() / kElemBytes), 0);
+      a.buffer->tracker().query(0, a.buffer->bytes(), [&](i64 b, i64 e,
+                                                          Owner owner) {
+        if (owner < 0) return;
+        const char* src = static_cast<const char*>(machine_->bufferData(
+            a.buffer->instances_[static_cast<std::size_t>(owner)]));
+        std::memcpy(reinterpret_cast<char*>(m.data()) + b, src + b,
+                    static_cast<std::size_t>(e - b));
+      });
+      argvals.push_back(
+          ir::ArgValue::ofBuffer(m.data(), static_cast<i64>(m.size())));
+    }
+  }
+
+  auto fp = std::make_shared<InspectedFootprints>();
+  fp->cfg = cfg;
+  fp->scalars.assign(scalars.begin(), scalars.end());
+  fp->buffers = std::move(bufs);
+  fp->contentVersions = std::move(versions);
+  fp->weights = ke.partitioning.weights;
+  fp->ranges.assign(
+      ke.mayReadArgs.size(),
+      std::vector<std::vector<std::pair<i64, i64>>>(
+          static_cast<std::size_t>(config_.numGpus)));
+
+  std::vector<int> slotOf(args.size(), -1);
+  for (std::size_t i = 0; i < ke.mayReadArgs.size(); ++i)
+    slotOf[ke.mayReadArgs[i]] = static_cast<int>(i);
+
+  i64 accesses = 0;
+  for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
+    GridPartition gp = partitionFor(*ke.model, cfg.grid, gpu);
+    if (gp.blockCount() == 0) continue;
+    LaunchConfig partCfg{
+        {gp.hi.x - gp.lo.x, gp.hi.y - gp.lo.y, gp.hi.z - gp.lo.z}, cfg.block};
+    std::vector<ir::ArgValue> pargs = argvals;
+    for (i64 v : {gp.lo.x, gp.lo.y, gp.lo.z, gp.hi.x, gp.hi.y, gp.hi.z})
+      pargs.push_back(ir::ArgValue::ofInt(v));
+    std::vector<std::vector<i64>> flats(ke.mayReadArgs.size());
+    ir::AccessObserver observer = [&](std::size_t arg, bool isWrite, i64 flat,
+                                      std::span<const i64, 12>) {
+      if (isWrite || slotOf[arg] < 0) return;
+      ++accesses;
+      flats[static_cast<std::size_t>(slotOf[arg])].push_back(flat);
+    };
+    ir::execute(*ke.partitioned, partCfg, pargs, observer);
+    for (std::size_t si = 0; si < flats.size(); ++si) {
+      std::vector<i64>& fs = flats[si];
+      std::sort(fs.begin(), fs.end());
+      fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
+      auto& out = fp->ranges[si][static_cast<std::size_t>(gpu)];
+      std::size_t i = 0;
+      while (i < fs.size()) {
+        std::size_t j = i;
+        while (j + 1 < fs.size() && fs[j + 1] == fs[j] + 1) ++j;
+        out.emplace_back(fs[i], fs[j] + 1);
+        i = j + 1;
+      }
+    }
+  }
+
+  ++stats_.inspectorRuns;
+  stats_.inspectedElements += accesses;
+  const double cost =
+      config_.inspectorCostPerElement * static_cast<double>(accesses);
+  const double simStart = machine_->now();
+  machine_->advanceHost(cost);
+  trace::simSpan(config_.tracer, "sim.pattern", "inspect", sim::kSimHostTrack,
+                 simStart, cost, {{"elements", accesses}});
+
+  const i64 cap = config_.inspectionCacheEntriesPerKernel;
+  if (cap > 0 && static_cast<i64>(ke.inspections.size()) >= cap)
+    ke.inspections.pop_front();
+  ke.inspections.push_back(fp);
+  return fp;
+}
+
+void Runtime::synchronizeMayAccessReads(KernelEntry& ke,
+                                        std::span<const LaunchArg> args,
+                                        const InspectedFootprints& fp) {
+  ResolutionTimer timer(*this);
+  trace::Span span(config_.tracer, "runtime", "sync-may-reads");
+  std::unique_ptr<TransferPlan> xferPlan = makeTransferPlan();
+  std::vector<std::pair<i64, i64>> sharerScratch;
+  // Same traversal shape and per-array modeled cost as synchronizeReads,
+  // driven by the inspected footprints instead of the enumerators.  Called
+  // identically by both resolution engines (it is already cheap and
+  // footprint-exact), which keeps them byte-identical.
+  for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
+    for (std::size_t si = 0; si < ke.mayReadArgs.size(); ++si) {
+      const auto& ranges = fp.ranges[si][static_cast<std::size_t>(gpu)];
+      if (ranges.empty()) continue;
+      VirtualBuffer* vb = args[ke.mayReadArgs[si]].buffer;
+      PP_ASSERT(vb != nullptr);
+      i64 segments = 0;
+      for (const auto& [elemB, elemE] : ranges) {
+        vb->tracker_.querySharers(
+            elemB * kElemBytes, elemE * kElemBytes,
+            [&](i64 b, i64 en, Owner owner, u64 sharers) {
+              ++segments;
+              if (owner == gpu || owner < 0) return;
+              if ((config_.trackSharedCopies || config_.dataflowPlanning) &&
+                  gpu < 64 && (sharers & (u64{1} << gpu)) != 0) {
+                if (config_.trackSharedCopies)
+                  ++stats_.sharedCopyHits;
+                else
+                  ++stats_.prefetchHits;
+                return;
+              }
+              if (config_.enableTransfers) {
+                if (xferPlan != nullptr) {
+                  xferPlan->add(vb, gpu, static_cast<int>(owner), b, en);
+                } else {
+                  machine_->copyPeer(
+                      vb->instances_[static_cast<std::size_t>(gpu)], b,
+                      vb->instances_[static_cast<std::size_t>(owner)], b,
+                      en - b);
+                  ++stats_.peerCopies;
+                  trace::instant(
+                      config_.tracer, "transfer", "peer-copy",
+                      {{"src", owner}, {"dst", gpu}, {"bytes", en - b}});
+                }
+                if (config_.trackSharedCopies) sharerScratch.emplace_back(b, en);
+              }
+            });
+        for (const auto& [b, en] : sharerScratch)
+          vb->tracker_.addSharer(b, en, gpu);
+        sharerScratch.clear();
+      }
+      stats_.rangesResolved += static_cast<i64>(ranges.size());
+      stats_.trackerSegmentsVisited += segments;
+      double perRow =
+          config_.resolutionCostPerRow +
+          (config_.enableTransfers ? config_.transferIssueCostPerRow : 0);
+      double cost = config_.resolutionCostPerArray +
+                    perRow * static_cast<double>(
+                                 static_cast<i64>(ranges.size()) + segments);
+      double simStart = machine_->now();
+      machine_->advanceHost(cost);
+      trace::simSpan(config_.tracer, "sim.pattern", "resolve-may-reads",
+                     sim::kSimHostTrack, simStart, cost, {{"gpu", gpu}});
+    }
+  }
+  if (xferPlan != nullptr) issueTransferPlan(*xferPlan);
+}
+
+void Runtime::gatherRmwMayArgs(KernelEntry& ke, std::span<const LaunchArg> args,
+                               int gpu) {
+  // Read-modify-write may-args carry no static read map, and each partition
+  // must observe the merged writes of every earlier one (sequential
+  // interpreter semantics): gather the whole buffer to this device right
+  // before its partition launches.  The leading barrier also orders this
+  // partition behind its predecessor, whose writes fold into the tracker
+  // only after its kernel returns.
+  trace::Span span(config_.tracer, "runtime", "gather-rmw");
+  machine_->synchronizeAll();
+  for (std::size_t arg : ke.rmwMayArgs) {
+    VirtualBuffer* vb = args[arg].buffer;
+    PP_ASSERT(vb != nullptr);
+    vb->tracker_.query(0, vb->bytes(), [&](i64 b, i64 e, Owner owner) {
+      if (owner < 0 || owner == gpu) return;
+      machine_->copyPeer(vb->instances_[static_cast<std::size_t>(gpu)], b,
+                         vb->instances_[static_cast<std::size_t>(owner)], b,
+                         e - b);
+      ++stats_.peerCopies;
+      trace::instant(config_.tracer, "transfer", "peer-copy",
+                     {{"src", owner}, {"dst", gpu}, {"bytes", e - b}});
+    });
+  }
+  machine_->synchronizeAll();
 }
 
 // ---------------------------------------------------------------------------
@@ -967,12 +1255,16 @@ struct BufferShards {
 
 BufferShards shardByBuffer(const std::vector<Enumerator>& enumerators,
                            std::span<const LaunchArg> args, std::size_t numAcqs,
-                           bool writes) {
+                           bool writes,
+                           const std::vector<char>* skipEnum = nullptr) {
   BufferShards shards;
   std::unordered_map<VirtualBuffer*, std::size_t> index;
   for (std::size_t ai = 0; ai < numAcqs; ++ai) {
     for (std::size_t ei = 0; ei < enumerators.size(); ++ei) {
       if (enumerators[ei].isWrite() != writes) continue;
+      // Inspector-skipped enumerators must not shard at all: the phase-2
+      // tasks mutate tracker sharer state, which the skip exists to avoid.
+      if (skipEnum != nullptr && (*skipEnum)[ei] != 0) continue;
       VirtualBuffer* vb = args[enumerators[ei].argIndex()].buffer;
       PP_ASSERT(vb != nullptr);
       auto [it, fresh] = index.try_emplace(vb, shards.buffers.size());
@@ -1008,8 +1300,10 @@ void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
   };
   std::vector<EnumResolution> results(acqs.size() * numEnums);
 
+  const bool inspector = inspectorActiveFor(ke);
   BufferShards shards =
-      shardByBuffer(ke.enumerators, args, acqs.size(), /*writes=*/false);
+      shardByBuffer(ke.enumerators, args, acqs.size(), /*writes=*/false,
+                    inspector ? &ke.enumIsMayRead : nullptr);
   runResolutionTasks("phase2:tracker-tasks",
                      static_cast<i64>(shards.buffers.size()), [&](i64 s) {
     VirtualBuffer* vb = shards.buffers[static_cast<std::size_t>(s)];
@@ -1057,6 +1351,7 @@ void Runtime::synchronizeReadsParallel(KernelEntry& ke, const LaunchConfig& cfg,
     for (std::size_t ei = 0; ei < numEnums; ++ei) {
       const Enumerator& e = ke.enumerators[ei];
       if (e.isWrite()) continue;
+      if (inspector && ke.enumIsMayRead[ei] != 0) continue;
       VirtualBuffer* vb = args[e.argIndex()].buffer;
       const EnumResolution& r = results[ai * numEnums + ei];
       for (const Transfer& t : r.transfers) {
@@ -1256,6 +1551,24 @@ void Runtime::executeLaunch(PendingLaunch& pl) {
 
   trace::LaunchScope launchScope(config_.tracer, kernelName);
   ++stats_.launches;
+  if (!ke.mayWriteArgs.empty() || !ke.mayReadArgs.empty())
+    ++stats_.mayAccessLaunches;
+
+  // Arrays whose write patterns the static model could not capture are
+  // tracked by instrumented execution (paper Section 11: "using
+  // instrumentation to collect write patterns").  May-access writes and the
+  // inspection walk reuse the same machinery, so all three need functional
+  // buffer contents.
+  std::vector<std::size_t> instrumentedArgs;
+  for (const analysis::ArrayModel& a : model.arrays)
+    if (a.writeInstrumented) instrumentedArgs.push_back(a.argIndex);
+  if ((!instrumentedArgs.empty() || !ke.mayWriteArgs.empty() ||
+       inspectorActiveFor(ke)) &&
+      machine_->mode() != sim::ExecutionMode::Functional)
+    throw UnsupportedOperationError(
+        "kernel '" + kernelName +
+        "' needs instrumented or may-access write tracking (or an inspection "
+        "walk), which requires Functional execution");
 
   // (1b) Dataflow planner: record/match this launch against the detected
   // cycle.  A planned launch keeps the reactive resolution (the tracker
@@ -1299,25 +1612,28 @@ void Runtime::executeLaunch(PendingLaunch& pl) {
   if (config_.enableDependencyResolution) {
     machine_->setDeviceOrdering(planned);
     if (!planned) machine_->synchronizeAll();
+    // Inspector–executor: resolve the exact per-device footprints of the
+    // may-access reads (cached across launches) so the regular sync below
+    // can skip their whole-extent enumerators.
+    std::shared_ptr<const InspectedFootprints> fp;
+    if (inspectorActiveFor(ke)) fp = inspectFootprints(ke, cfg, args, scalars);
     if (pool_)
       synchronizeReadsParallel(ke, cfg, args, scalars);
     else
       synchronizeReads(ke, cfg, args, scalars);
+    if (fp != nullptr) synchronizeMayAccessReads(ke, args, *fp);
     if (!planned) machine_->synchronizeAll();
   }
 
-  // Arrays whose write patterns the static model could not capture are
-  // tracked by instrumented execution (paper Section 11: "using
-  // instrumentation to collect write patterns").
-  std::vector<std::size_t> instrumentedArgs;
-  for (const analysis::ArrayModel& a : model.arrays)
-    if (a.writeInstrumented) instrumentedArgs.push_back(a.argIndex);
-  if (!instrumentedArgs.empty() &&
-      machine_->mode() != sim::ExecutionMode::Functional)
-    throw UnsupportedOperationError(
-        "kernel '" + kernelName +
-        "' needs instrumented write tracking, which requires Functional "
-        "execution");
+  // Args whose writes must be observed during execution: instrumented ones
+  // plus may-access writes.  The two collapse to the same collect-and-fold
+  // machinery; they differ only in the hazard rule below (may-access write
+  // overlaps between partitions are legal and merge in ascending device
+  // order, which reproduces the sequential interpreter's last-write-wins).
+  std::vector<std::size_t> observedArgs = instrumentedArgs;
+  observedArgs.insert(observedArgs.end(), ke.mayWriteArgs.begin(),
+                      ke.mayWriteArgs.end());
+  std::sort(observedArgs.begin(), observedArgs.end());
 
   // Per instrumented array: (gpu, element range) for conflict detection.
   std::map<std::size_t, std::vector<std::tuple<i64, i64, int>>> observedRanges;
@@ -1335,6 +1651,9 @@ void Runtime::executeLaunch(PendingLaunch& pl) {
   for (int gpu = 0; gpu < config_.numGpus; ++gpu) {
     GridPartition gp = partitionFor(model, grid, gpu);
     if (gp.blockCount() == 0) continue;
+    // Read-modify-write may-args: this partition must see its predecessors'
+    // merged writes before it runs.
+    if (!ke.rmwMayArgs.empty()) gatherRmwMayArgs(ke, args, gpu);
     // Eq. 10: gridConf = partition.max - partition.min.
     LaunchConfig partCfg{{gp.hi.x - gp.lo.x, gp.hi.y - gp.lo.y, gp.hi.z - gp.lo.z},
                          block};
@@ -1352,7 +1671,7 @@ void Runtime::executeLaunch(PendingLaunch& pl) {
     for (i64 v : {gp.lo.x, gp.lo.y, gp.lo.z, gp.hi.x, gp.hi.y, gp.hi.z})
       kargs.push_back(sim::KernelArg::ofInt(v));
 
-    if (instrumentedArgs.empty()) {
+    if (observedArgs.empty()) {
       double done = machine_->launchKernel(gpu, *ke.partitioned, partCfg, kargs);
       if (planned) kernelDone[static_cast<std::size_t>(gpu)] = done;
       continue;
@@ -1364,8 +1683,8 @@ void Runtime::executeLaunch(PendingLaunch& pl) {
     ir::AccessObserver observer = [&](std::size_t arg, bool isWrite, i64 flat,
                                       std::span<const i64, 12>) {
       if (!isWrite) return;
-      if (std::find(instrumentedArgs.begin(), instrumentedArgs.end(), arg) !=
-          instrumentedArgs.end())
+      if (std::find(observedArgs.begin(), observedArgs.end(), arg) !=
+          observedArgs.end())
         writes[arg].push_back(flat);
     };
     sim::LaunchOptions opts;
@@ -1378,13 +1697,19 @@ void Runtime::executeLaunch(PendingLaunch& pl) {
       flats.erase(std::unique(flats.begin(), flats.end()), flats.end());
       VirtualBuffer* vb = args[arg].buffer;
       PP_ASSERT(vb != nullptr);
+      // WAW detection applies to instrumented args only: the static model
+      // claimed their writes were disjoint.  May-access args made no such
+      // claim — overlapping partitions are expected there.
+      const bool checkWaw =
+          std::find(instrumentedArgs.begin(), instrumentedArgs.end(), arg) !=
+          instrumentedArgs.end();
       std::size_t i = 0;
       while (i < flats.size()) {
         std::size_t j = i;
         while (j + 1 < flats.size() && flats[j + 1] == flats[j] + 1) ++j;
         i64 begin = flats[i], end = flats[j] + 1;
         vb->tracker_.update(begin * kElemBytes, end * kElemBytes, gpu);
-        observedRanges[arg].emplace_back(begin, end, gpu);
+        if (checkWaw) observedRanges[arg].emplace_back(begin, end, gpu);
         stats_.rangesResolved += 1;
         i = j + 1;
       }

@@ -95,6 +95,13 @@ bool defaultDataflowPlanning();
 /// knob enabled.
 bool defaultAllowRepartitioning();
 
+/// Process-default for RuntimeConfig::inspectorExecutor: the
+/// POLYPART_INSPECTOR_EXECUTOR environment flag when set (same strict parse
+/// as POLYPART_DATAFLOW_PLANNING), else false.  Behaviour-neutral for
+/// kernels without may-access reads, which is what lets check.sh re-run
+/// whole suites with the knob enabled.
+bool defaultInspectorExecutor();
+
 /// A weighted grid partitioning along a kernel's split axis: device d gets
 /// the block range [extent * prefix(d) / total, extent * (prefix(d) +
 /// weights[d]) / total).  All-equal weights reproduce the paper's even
@@ -207,6 +214,28 @@ struct RuntimeConfig {
   /// Behaviour-neutral until repartition() is actually called.  Defaults to
   /// the POLYPART_ALLOW_REPARTITIONING environment override, else off.
   bool allowRepartitioning = defaultAllowRepartitioning();
+  /// Inspector–executor for may-access reads (extension; see DESIGN.md
+  /// "May-access tier & inspector–executor").  Off (default): reads the
+  /// analysis demoted to the may-access tier synchronize the whole declared
+  /// extent of the array (conservative whole-buffer sharing).  On: before
+  /// the read synchronization, the runtime runs a host-side inspection walk
+  /// of the partitioned kernel over mirrors of the current buffer contents
+  /// and records the exact per-device element footprints of every
+  /// may-access read, then synchronizes only those.  Footprints are cached
+  /// per kernel, keyed by (launch geometry, scalars, buffer identities,
+  /// buffer content versions, partitioning) and invalidated when any
+  /// inspected buffer's content changes.  Requires Functional mode when a
+  /// launched kernel actually has may-access reads; functional results are
+  /// byte-identical with the inspector on or off.  Defaults to the
+  /// POLYPART_INSPECTOR_EXECUTOR environment override, else off.
+  bool inspectorExecutor = defaultInspectorExecutor();
+  /// Modeled host cost per may-read access observed by an inspection walk
+  /// (charged on cache misses only; the walk re-executes the kernel's
+  /// address arithmetic on the host).
+  double inspectorCostPerElement = 1e-9;
+  /// Bounded inspection cache size: retained footprint sets per kernel,
+  /// evicted FIFO.  Values < 1 mean unbounded.
+  i64 inspectionCacheEntriesPerKernel = 8;
   /// Page size for the round-robin distribution (bytes).
   i64 h2dPageBytes = 65536;
   /// Launch-plan enumeration cache: memoizes, per kernel, the coalesced
@@ -361,6 +390,14 @@ struct RuntimeStats {
   i64 restoreCopies = 0;            // H2D copies restoring checkpointed ranges
   i64 bytesRestored = 0;            // bytes those copies restored
   i64 bytesAdopted = 0;             // lost bytes re-owned from live replicas
+  // May-access tier counters (all 0 for purely affine kernels).
+  i64 mayAccessLaunches = 0;   // launches of kernels with may-access arrays
+  i64 inspectorRuns = 0;       // host-side inspection walks executed
+  i64 inspectorCacheHits = 0;  // launches served by a cached footprint set
+  i64 inspectorCacheMisses = 0;
+  i64 inspectorCacheInvalidations = 0;  // stale footprints dropped: an
+                                        // inspected buffer's content changed
+  i64 inspectedElements = 0;   // may-read accesses observed by the walks
   // Engine meta-counters.  These describe *how* the resolution executed, not
   // what it computed: wall-clock fields are nondeterministic by nature and
   // resolutionTasks is 0 in serial mode, so the determinism guarantee of
@@ -538,6 +575,23 @@ class Runtime {
   /// kernel (indexed like KernelEntry::enumerators) for one EnumerationKey.
   using LaunchPlan = std::vector<codegen::MaterializedRanges>;
 
+  /// One inspection result: exact per-device element footprints of a
+  /// kernel's may-access reads, plus everything the walk depended on (the
+  /// cache key).  Entries go stale when any recorded buffer's
+  /// Tracker::contentVersion() moves — update() bumps it, addSharer() does
+  /// not, so replication-pattern differences between the resolution engines
+  /// cannot thrash the cache.
+  struct InspectedFootprints {
+    ir::LaunchConfig cfg;
+    std::vector<i64> scalars;
+    std::vector<const VirtualBuffer*> buffers;  // array args, in arg order
+    std::vector<u64> contentVersions;           // parallel to `buffers`
+    std::vector<i64> weights;                   // partitioning when inspected
+    /// ranges[i][gpu] -> coalesced half-open element ranges read by `gpu`
+    /// through inspectable arg mayReadArgs[i].
+    std::vector<std::vector<std::vector<std::pair<i64, i64>>>> ranges;
+  };
+
   struct KernelEntry {
     const analysis::KernelModel* model = nullptr;
     ir::KernelPtr partitioned;
@@ -568,6 +622,27 @@ class Runtime {
     std::unordered_set<codegen::EnumerationKey, codegen::EnumerationKeyHash>
         predictedPresent;
     std::deque<codegen::EnumerationKey> predictedOrder;
+    /// May-access tier metadata, precomputed at construction.
+    /// Args whose writes left the static model (ArrayModel::writeMayAccess):
+    /// executeLaunch() observes their stores like instrumented writes, but
+    /// overlaps between partitions are legal (merged in ascending device
+    /// order, which reproduces the sequential interpreter's last-write-wins).
+    std::vector<std::size_t> mayWriteArgs;
+    /// May-written args the kernel also reads (read-modify-write): every
+    /// partition must see its predecessors' merged writes, so the runtime
+    /// gathers the whole buffer to each device right before its partition.
+    std::vector<std::size_t> rmwMayArgs;
+    /// May-read args eligible for inspection (readMayAccess and not
+    /// may-written; RMW args are covered wholly by the pre-partition
+    /// gather).  Index i here owns InspectedFootprints::ranges[i].
+    std::vector<std::size_t> mayReadArgs;
+    /// Per enumerators[] entry: it realizes the whole-extent read of an
+    /// inspectable arg, so both sync engines skip it while the inspector is
+    /// active (the footprint sync replaces it).
+    std::vector<char> enumIsMayRead;
+    /// Inspection cache, FIFO bounded by
+    /// RuntimeConfig::inspectionCacheEntriesPerKernel.  Engine thread only.
+    std::deque<std::shared_ptr<const InspectedFootprints>> inspections;
   };
 
   /// One GPU partition's launch plan for the current pass: the materialized
@@ -638,6 +713,31 @@ class Runtime {
   void synchronizeReads(KernelEntry& ke, const ir::LaunchConfig& cfg,
                         std::span<const LaunchArg> args,
                         std::span<const i64> scalars);
+  /// True when this launch should run the inspector–executor: the knob is
+  /// on and the kernel has inspectable may-access reads.
+  bool inspectorActiveFor(const KernelEntry& ke) const;
+  /// Returns the (possibly cached) inspection of this launch: a host-side
+  /// walk of the partitioned kernel over mirrors of the current buffer
+  /// contents that records the exact per-device element footprint of every
+  /// inspectable may-access read.  Functional mode only (the walk needs the
+  /// buffer bytes).  Engine thread.
+  std::shared_ptr<const InspectedFootprints> inspectFootprints(
+      KernelEntry& ke, const ir::LaunchConfig& cfg,
+      std::span<const LaunchArg> args, std::span<const i64> scalars);
+  /// Read synchronization for the inspected footprints, replacing the
+  /// skipped whole-extent enumerators with the same tracker-query /
+  /// sharer-skip / transfer-plan / modeled-cost sequence as the regular
+  /// paths (called identically by both engines, keeping them
+  /// byte-identical).
+  void synchronizeMayAccessReads(KernelEntry& ke,
+                                 std::span<const LaunchArg> args,
+                                 const InspectedFootprints& fp);
+  /// The pre-partition gather for read-modify-write may-access args: before
+  /// partition `gpu` launches, every byte of each rmwMayArgs buffer owned
+  /// elsewhere is copied to `gpu` so the partition observes its
+  /// predecessors' merged writes (sequential interpreter semantics).
+  void gatherRmwMayArgs(KernelEntry& ke, std::span<const LaunchArg> args,
+                        int gpu);
   /// Returns the per-launch plan for the read-sync phase when
   /// transferScheduling is on, or nullptr (paper behaviour: copies are
   /// issued inline by the tracker-query callback).

@@ -106,6 +106,14 @@ class SegmentTrackerT {
   /// tracker through the same state without walking it after every launch.
   u64 version() const { return version_; }
 
+  /// Content counter: bumped only by update() — writes to the tracked
+  /// buffer — never by sharer bookkeeping.  The inspector–executor keys its
+  /// footprint cache on this: update() sequences are byte-identical across
+  /// the resolution engines, while addSharer() patterns vary with
+  /// trackSharedCopies/dataflowPlanning, so caching on version() would make
+  /// cache hits (and the modeled inspection cost) knob-dependent.
+  u64 contentVersion() const { return contentVersion_; }
+
   /// One resolved segment of a dump(): [begin, end) owned by `owner`, valid
   /// replicas on `sharers`.
   struct DumpSegment {
@@ -133,6 +141,7 @@ class SegmentTrackerT {
     clamp(begin, end);
     if (begin >= end) return;
     ++version_;
+    ++contentVersion_;
 
     // Split the segment containing `begin` when it straddles the boundary.
     splitAt(begin);
@@ -334,6 +343,7 @@ class SegmentTrackerT {
 
   i64 size_ = 0;
   u64 version_ = 0;
+  u64 contentVersion_ = 0;
   MapT<i64, Seg> segments_;
   mutable std::vector<i64> eraseScratch_;
 };

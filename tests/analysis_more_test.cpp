@@ -107,7 +107,15 @@ TEST(AnalysisMore, GridStrideLoopIsRejected) {
     // the index expression i*stride + start is also non-affine.
     b.store(x, i * stride, fconst(1.0));
   });
-  EXPECT_THROW(analyzeKernel(*b.build()), UnsupportedKernelError);
+  // Default: the non-affine product demotes the write to the may-access
+  // tier; strict mode restores the reject.
+  KernelPtr k = b.build();
+  KernelModel m = analyzeKernel(*k);
+  ASSERT_NE(m.arrayFor(1), nullptr);
+  EXPECT_TRUE(m.arrayFor(1)->writeMayAccess);
+  AnalysisOptions strict;
+  strict.allowMayAccess = false;
+  EXPECT_THROW(analyzeKernel(*k, strict), UnsupportedKernelError);
 }
 
 TEST(AnalysisMore, ReductionStyleWriteRejected) {

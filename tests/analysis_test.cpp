@@ -351,7 +351,18 @@ TEST(Analysis, RejectsWriteUnderNonAffineGuard) {
     b.iff(gt(b.load(flags, i), iconst(0)), [&] { b.store(x, i, fconst(1.0)); });
   });
   KernelPtr k = b.build();
-  EXPECT_THROW(analyzeKernel(*k), UnsupportedKernelError);
+  // Default: the data-dependent write guard demotes x to the may-access
+  // tier (the write set is unknowable statically); strict mode restores
+  // the paper's hard reject.
+  KernelModel m = analyzeKernel(*k);
+  const ArrayModel* xm = m.arrayFor(2);
+  ASSERT_NE(xm, nullptr);
+  EXPECT_TRUE(xm->writeMayAccess);
+  EXPECT_FALSE(xm->hasWrites());
+  EXPECT_NE(xm->mayAccessWhy.find("x"), std::string::npos) << xm->mayAccessWhy;
+  AnalysisOptions strict;
+  strict.allowMayAccess = false;
+  EXPECT_THROW(analyzeKernel(*k, strict), UnsupportedKernelError);
 }
 
 TEST(Analysis, RejectsNonAffineIndex) {
@@ -361,7 +372,14 @@ TEST(Analysis, RejectsNonAffineIndex) {
   auto i = b.let("i", b.globalId(Axis::X));
   b.iff(lt(i * i, n), [&] { b.store(x, i * i, fconst(1.0)); });
   KernelPtr k = b.build();
-  EXPECT_THROW(analyzeKernel(*k), UnsupportedKernelError);
+  // Default: the quadratic subscript demotes to may-access; strict mode
+  // restores the reject.
+  KernelModel m = analyzeKernel(*k);
+  ASSERT_NE(m.arrayFor(1), nullptr);
+  EXPECT_TRUE(m.arrayFor(1)->writeMayAccess);
+  AnalysisOptions strict;
+  strict.allowMayAccess = false;
+  EXPECT_THROW(analyzeKernel(*k, strict), UnsupportedKernelError);
 }
 
 TEST(Analysis, ModelSerializationRoundTrip) {

@@ -61,9 +61,23 @@ std::unique_ptr<Runtime> makeRuntime(const ir::Module& mod,
   return std::make_unique<Runtime>(cfg, model, mod);
 }
 
-TEST(Dynamic, ScatterRejectedWithoutFallback) {
+TEST(Dynamic, ScatterDemotesToMayWriteByDefault) {
+  // The default tier ladder ends in may-access: the indirect write demotes
+  // instead of rejecting the kernel.  POLYPART_STRICT_AFFINE / the
+  // allowMayAccess option restore the paper's hard reject.
   KernelPtr k = buildScatter();
-  EXPECT_THROW(analysis::analyzeKernel(*k), UnsupportedKernelError);
+  analysis::KernelModel m = analysis::analyzeKernel(*k);
+  const analysis::ArrayModel* out = m.arrayFor(3);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->writeMayAccess);
+  EXPECT_FALSE(out->hasWrites());
+  EXPECT_FALSE(out->writeInstrumented);
+  EXPECT_NE(out->mayAccessWhy.find("out"), std::string::npos)
+      << out->mayAccessWhy;
+
+  AnalysisOptions strict;
+  strict.allowMayAccess = false;
+  EXPECT_THROW(analysis::analyzeKernel(*k, strict), UnsupportedKernelError);
 }
 
 TEST(Dynamic, ScatterModelMarksInstrumentedWrite) {
@@ -167,7 +181,14 @@ TEST(Dynamic, InstrumentationRequiresFunctionalMode) {
 
 TEST(Dynamic, GatherUsesWholeArrayReadFallback) {
   KernelPtr k = buildGather();
-  EXPECT_THROW(analysis::analyzeKernel(*k), UnsupportedKernelError);
+  // Default: the indirect read demotes to the may-access tier; strict mode
+  // restores the reject.
+  EXPECT_TRUE(analysis::analyzeKernel(*k).arrayFor(2)->readMayAccess);
+  {
+    AnalysisOptions strict;
+    strict.allowMayAccess = false;
+    EXPECT_THROW(analysis::analyzeKernel(*k, strict), UnsupportedKernelError);
+  }
 
   AnalysisOptions opts;
   opts.allowWholeArrayReadFallback = true;

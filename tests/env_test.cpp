@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/analyze.h"
 #include "codegen/enumerator.h"
 #include "fuzz_util.h"
 #include "rt/runtime.h"
@@ -135,6 +136,29 @@ TEST(EnvKnobs, BooleanDefaultsRejectInvalidSpellings) {
     EXPECT_NE(msg.find("POLYPART_ALLOW_REPARTITIONING"), std::string::npos)
         << msg;
   }
+}
+
+TEST(EnvKnobs, StrictAffineRestoresHardReject) {
+  EnvVar v("POLYPART_STRICT_AFFINE", nullptr);
+  // Default: may-access demotion is on (allowMayAccess = true).
+  EXPECT_TRUE(analysis::defaultAllowMayAccess());
+  ::setenv("POLYPART_STRICT_AFFINE", "1", 1);
+  EXPECT_FALSE(analysis::defaultAllowMayAccess());
+  ::setenv("POLYPART_STRICT_AFFINE", "off", 1);
+  EXPECT_TRUE(analysis::defaultAllowMayAccess());
+  ::setenv("POLYPART_STRICT_AFFINE", "2", 1);
+  std::string msg = message([] { (void)analysis::defaultAllowMayAccess(); });
+  EXPECT_NE(msg.find("POLYPART_STRICT_AFFINE"), std::string::npos) << msg;
+}
+
+TEST(EnvKnobs, InspectorExecutorKnob) {
+  EnvVar v("POLYPART_INSPECTOR_EXECUTOR", nullptr);
+  EXPECT_FALSE(rt::defaultInspectorExecutor());
+  ::setenv("POLYPART_INSPECTOR_EXECUTOR", "on", 1);
+  EXPECT_TRUE(rt::defaultInspectorExecutor());
+  ::setenv("POLYPART_INSPECTOR_EXECUTOR", "enable", 1);
+  std::string msg = message([] { (void)rt::defaultInspectorExecutor(); });
+  EXPECT_NE(msg.find("POLYPART_INSPECTOR_EXECUTOR"), std::string::npos) << msg;
 }
 
 TEST(EnvKnobs, FuzzSeedPinsReplayAndRejectsGarbage) {
